@@ -1,0 +1,110 @@
+// Command secbench regenerates the paper's tables and figures on the
+// simulated secure multi-GPU system.
+//
+// Usage:
+//
+//	secbench -exp fig21 -scale 0.25
+//	secbench -exp all -scale 1.0 -csv
+//	secbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"secmgpu/internal/experiments"
+)
+
+type runner func(experiments.Params) (*experiments.Table, error)
+
+func registry() map[string]runner {
+	return map[string]runner{
+		"table1": func(experiments.Params) (*experiments.Table, error) { return experiments.Table1(), nil },
+		"table4": func(experiments.Params) (*experiments.Table, error) { return experiments.Table4(), nil },
+		"fig8":   experiments.Fig8,
+		"fig9":   experiments.Fig9,
+		"fig10":  experiments.Fig10,
+		"fig11":  experiments.Fig11,
+		"fig12":  experiments.Fig12,
+		"fig13":  experiments.Fig13,
+		"fig14":  experiments.Fig14,
+		"fig15":  experiments.Fig15,
+		"fig16":  experiments.Fig16,
+		"fig21":  experiments.Fig21,
+		"fig22":  experiments.Fig22,
+		"fig23":  experiments.Fig23,
+		"fig24":  experiments.Fig24,
+		"fig25":  experiments.Fig25,
+		"fig26":  experiments.Fig26,
+
+		"ablation-alpha-beta":  experiments.AblationAlphaBeta,
+		"ablation-batch-size":  experiments.AblationBatchSize,
+		"ablation-timeout":     experiments.AblationBatchTimeout,
+		"ablation-decompose":   experiments.AblationDecomposition,
+		"ablation-oracle":      experiments.AblationOracle,
+		"ablation-tlb":         experiments.AblationTLB,
+		"ablation-topology":    experiments.AblationTopology,
+		"ablation-cu-frontend": experiments.AblationCUFrontEnd,
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "fig21", "experiment to run (or 'all')")
+	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
+	gpus := flag.Int("gpus", 4, "number of GPUs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	list := flag.Bool("list", false, "list experiments and exit")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
+	flag.Parse()
+
+	reg := registry()
+	if *list {
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	p := experiments.Params{GPUs: *gpus, Scale: *scale, Seed: *seed}
+	if *workloads != "" {
+		p.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var names []string
+	if *exp == "all" {
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+
+	for _, name := range names {
+		fn, ok := reg[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "secbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := fn(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

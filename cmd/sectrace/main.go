@@ -1,0 +1,93 @@
+// Command sectrace generates, exports, and analyzes workload communication
+// traces.
+//
+// Usage:
+//
+//	sectrace -workload mm -gpu 1 -gpus 4 -scale 0.25 -out mm_gpu1.trace
+//	sectrace -analyze mm_gpu1.trace
+//	sectrace -workload syr2k -analyze ""     # generate and analyze in one go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"secmgpu/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mm", "workload abbreviation")
+	gpu := flag.Int("gpu", 1, "requesting GPU (1-based)")
+	gpus := flag.Int("gpus", 4, "number of GPUs in the system")
+	scale := flag.Float64("scale", 0.25, "workload scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "", "write the binary trace to this file")
+	analyze := flag.String("analyze", "", "analyze this trace file instead of generating")
+	flag.Parse()
+
+	var ops []workload.Op
+	switch {
+	case *analyze != "":
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ops, err = workload.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace      %s\n", *analyze)
+	default:
+		spec, err := workload.ByAbbr(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		ops = spec.Trace(*gpu, *gpus, *scale, *seed)
+		fmt.Printf("trace      %s GPU%d/%d scale %.2f seed %d\n", spec.Abbr, *gpu, *gpus, *scale, *seed)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := workload.WriteTrace(f, ops); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("written    %s\n", *out)
+		}
+	}
+
+	st := workload.AnalyzeTrace(ops)
+	fmt.Printf("ops        %d (%d reads, %d writes)\n", st.Ops, st.Reads, st.Writes)
+	fmt.Printf("bursts     %d (mean length %.1f blocks)\n", st.Bursts, st.MeanBurst)
+	if st.Ops > 0 {
+		fmt.Printf("density    %.1f ops per kilocycle of compute gap\n",
+			float64(st.Ops)/(float64(st.TotalGap)/1000+1))
+	}
+	fmt.Printf("pages      %d unique\n", st.UniquePage)
+	homes := make([]int, 0, len(st.DestShares))
+	for h := range st.DestShares {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
+	fmt.Printf("dest mix   ")
+	for _, h := range homes {
+		name := fmt.Sprintf("GPU%d", h)
+		if h == 0 {
+			name = "CPU"
+		}
+		fmt.Printf("%s %.1f%%  ", name, 100*st.DestShares[h])
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sectrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Scaling compares the secure-communication schemes as the system grows
+// from 4 to 8 to 16 GPUs (the paper's Figures 21, 24 and 25): the prior
+// Private and Cached schemes degrade with scale while Dynamic+Batching
+// stays nearly flat, because it keeps the fixed pad budget where the
+// traffic actually is and stops paying per-block metadata.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmgpu"
+)
+
+func main() {
+	workloads := []string{"mt", "syr2k", "pr"}
+	schemes := []struct {
+		label    string
+		scheme   secmgpu.Scheme
+		batching bool
+	}{
+		{"Private(4x)", secmgpu.SchemePrivate, false},
+		{"Cached(4x)", secmgpu.SchemeCached, false},
+		{"Ours", secmgpu.SchemeDynamic, true},
+	}
+
+	fmt.Printf("%-8s", "gpus")
+	for _, s := range schemes {
+		fmt.Printf("%14s", s.label)
+	}
+	fmt.Println("   (avg slowdown vs unsecure)")
+
+	for _, gpus := range []int{4, 8, 16} {
+		cfg := secmgpu.DefaultConfig(gpus)
+		cfg.Scale = 0.1
+		fmt.Printf("%-8d", gpus)
+		for _, s := range schemes {
+			c := cfg
+			c.Secure = true
+			c.Scheme = s.scheme
+			c.Batching = s.batching
+			var sum float64
+			for _, abbr := range workloads {
+				spec, err := secmgpu.WorkloadByAbbr(abbr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sd, err := secmgpu.Slowdown(c, spec, secmgpu.RunOptions{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += sd
+			}
+			fmt.Printf("%13.3fx", sum/float64(len(workloads)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module secmgpu
+
+go 1.22

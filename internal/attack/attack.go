@@ -1,0 +1,175 @@
+// Package attack implements the paper's threat model as an executable
+// adversary (Section II-B): an attacker with physical access to the
+// CPU-GPU and GPU-GPU interconnects who can observe, corrupt, replay, and
+// forge packets in flight. The injector wraps a node's fabric delivery
+// path and applies an attack script; the security tests then assert that
+// the endpoints' authenticated encryption and replay protection detect
+// every manipulation (and, as a control, that the unsecure baseline does
+// not).
+package attack
+
+import (
+	"math/rand"
+
+	"secmgpu/internal/interconnect"
+	"secmgpu/internal/sim"
+)
+
+// Kind enumerates the adversarial actions of the threat model.
+type Kind int
+
+const (
+	// TamperCiphertext flips bits in a data block's ciphertext on the
+	// wire (an integrity attack).
+	TamperCiphertext Kind = iota
+	// TamperMAC corrupts the transferred MsgMAC (or Batched_MsgMAC).
+	TamperMAC
+	// Replay duplicates a previously observed data message and delivers
+	// the copy again (the replay attack of Section II-C).
+	Replay
+	// Drop removes a message from the wire entirely (detected indirectly:
+	// a dropped block leaves its batch unverifiable).
+	Drop
+)
+
+// String names the attack kind.
+func (k Kind) String() string {
+	switch k {
+	case TamperCiphertext:
+		return "tamper-ciphertext"
+	case TamperMAC:
+		return "tamper-mac"
+	case Replay:
+		return "replay"
+	case Drop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Script decides, per delivered message, which attack (if any) to apply.
+type Script func(msg *interconnect.Message) (Kind, bool)
+
+// EveryNth attacks every nth data-bearing message with the given kind.
+func EveryNth(n int, kind Kind) Script {
+	if n < 1 {
+		panic("attack: n must be positive")
+	}
+	count := 0
+	return func(msg *interconnect.Message) (Kind, bool) {
+		if !carriesData(msg) {
+			return 0, false
+		}
+		count++
+		if count%n == 0 {
+			return kind, true
+		}
+		return 0, false
+	}
+}
+
+// RandomMix attacks data messages with probability p, choosing uniformly
+// among the given kinds using the seeded generator.
+func RandomMix(p float64, seed int64, kinds ...Kind) Script {
+	if len(kinds) == 0 || p < 0 || p > 1 {
+		panic("attack: RandomMix needs kinds and p in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(msg *interconnect.Message) (Kind, bool) {
+		if !carriesData(msg) || rng.Float64() >= p {
+			return 0, false
+		}
+		return kinds[rng.Intn(len(kinds))], true
+	}
+}
+
+func carriesData(msg *interconnect.Message) bool {
+	switch msg.Kind {
+	case interconnect.KindDataResp, interconnect.KindWriteReq, interconnect.KindMigrChunk:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stats counts the injector's actions.
+type Stats struct {
+	Observed  uint64
+	Tampered  uint64
+	MACForged uint64
+	Replayed  uint64
+	Dropped   uint64
+}
+
+// Injector is a man-in-the-middle on one node's delivery path. It
+// implements interconnect.Deliverer, wrapping the real endpoint.
+type Injector struct {
+	engine *sim.Engine
+	inner  interconnect.Deliverer
+	script Script
+	stats  Stats
+}
+
+// NewInjector wraps inner with the attack script. Install it with
+// fabric.Register(node, injector) after the endpoint registered itself.
+func NewInjector(engine *sim.Engine, inner interconnect.Deliverer, script Script) *Injector {
+	if inner == nil || script == nil {
+		panic("attack: injector needs a target and a script")
+	}
+	return &Injector{engine: engine, inner: inner, script: script}
+}
+
+// Stats returns the actions performed so far.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// Deliver applies the script to the message, then forwards it (possibly
+// modified, duplicated, or not at all).
+func (in *Injector) Deliver(now sim.Cycle, msg *interconnect.Message) {
+	in.stats.Observed++
+	kind, hit := in.script(msg)
+	if !hit {
+		in.inner.Deliver(now, msg)
+		return
+	}
+	switch kind {
+	case TamperCiphertext:
+		in.stats.Tampered++
+		tampered := cloneMsg(msg)
+		if tampered.Sec != nil && len(tampered.Sec.Ciphertext) > 0 {
+			tampered.Sec.Ciphertext = append([]byte(nil), tampered.Sec.Ciphertext...)
+			tampered.Sec.Ciphertext[int(in.stats.Tampered)%len(tampered.Sec.Ciphertext)] ^= 0x80
+		}
+		in.inner.Deliver(now, tampered)
+	case TamperMAC:
+		in.stats.MACForged++
+		tampered := cloneMsg(msg)
+		if tampered.Sec != nil {
+			tampered.Sec.MAC[0] ^= 0xff
+		}
+		in.inner.Deliver(now, tampered)
+	case Replay:
+		in.stats.Replayed++
+		in.inner.Deliver(now, msg)
+		// The copy arrives shortly after the original, as if re-injected
+		// on the wire.
+		replayed := cloneMsg(msg)
+		in.engine.Schedule(now+3, sim.HandlerFunc(func(sim.Event) {
+			in.inner.Deliver(in.engine.Now(), replayed)
+		}), nil)
+	case Drop:
+		in.stats.Dropped++
+		// Nothing is delivered.
+	default:
+		in.inner.Deliver(now, msg)
+	}
+}
+
+func cloneMsg(msg *interconnect.Message) *interconnect.Message {
+	c := *msg
+	if msg.Sec != nil {
+		sec := *msg.Sec
+		c.Sec = &sec
+	}
+	return &c
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+// BlockTag places one data block within a batch (Section IV-C). It is the
+// information the sender attaches to each block so the receiver can slot
+// the block's MsgMAC into its MsgMAC storage.
+type BlockTag struct {
+	// BatchID identifies the batch within the (source, destination) pair.
+	BatchID uint64
+	// Index is the block's position inside the batch.
+	Index int
+	// First reports whether this block opens the batch; the paper adds a
+	// 1B batch-length field to the first request of each batch.
+	First bool
+}
+
+// ClosedBatch describes a batch whose Batched_MsgMAC must now be sent.
+type ClosedBatch struct {
+	BatchID uint64
+	// Len is the number of blocks covered (n, or fewer on a timeout or
+	// explicit flush).
+	Len int
+	// MAC is the Batched_MsgMAC over the concatenated per-block MsgMACs
+	// (Formula 5), truncated to the wire MAC size.
+	MAC [crypto.MACBytes]byte
+}
+
+// Batcher is the sender-side batching controller for one destination. Data
+// blocks join the open batch in order; when n blocks have joined (or the
+// flush timeout passes, or a page-migration boundary forces it) the batch
+// closes and a single Batched_MsgMAC + single ACK replace the per-block
+// metadata.
+type Batcher struct {
+	n       int
+	timeout sim.Cycle
+	gen     *crypto.PadGenerator
+
+	nextID   uint64
+	open     bool
+	id       uint64
+	count    int
+	macs     []byte // concatenated per-block MsgMACs
+	openedAt sim.Cycle
+}
+
+// NewBatcher creates a sender-side batcher with batch size n. gen may be
+// nil for timing-only simulation, in which case Batched_MsgMACs are zero.
+func NewBatcher(n int, timeout sim.Cycle, gen *crypto.PadGenerator) *Batcher {
+	if n < 1 {
+		panic("core: batch size must be positive")
+	}
+	return &Batcher{n: n, timeout: timeout, gen: gen, macs: make([]byte, 0, n*crypto.MACBytes)}
+}
+
+// Add appends one block's MsgMAC to the open batch (opening one if needed)
+// and returns the block's tag plus, when this block completes the batch,
+// the closed batch to transmit.
+func (b *Batcher) Add(now sim.Cycle, mac [crypto.MACBytes]byte) (BlockTag, *ClosedBatch) {
+	if !b.open {
+		b.open = true
+		b.id = b.nextID
+		b.nextID++
+		b.count = 0
+		b.macs = b.macs[:0]
+		b.openedAt = now
+	}
+	tag := BlockTag{BatchID: b.id, Index: b.count, First: b.count == 0}
+	b.count++
+	b.macs = append(b.macs, mac[:]...)
+	if b.count == b.n {
+		return tag, b.close()
+	}
+	return tag, nil
+}
+
+// Flush closes the open batch if any, returning it. Used on timeout and at
+// page-migration boundaries.
+func (b *Batcher) Flush() *ClosedBatch {
+	if !b.open {
+		return nil
+	}
+	return b.close()
+}
+
+// TimedOut reports whether an open batch has exceeded the flush timeout.
+func (b *Batcher) TimedOut(now sim.Cycle) bool {
+	return b.open && b.timeout > 0 && now >= b.openedAt+b.timeout
+}
+
+// OpenID returns the identity of the open batch, or ok=false when no batch
+// is open. Timeout events use it to avoid flushing a successor batch.
+func (b *Batcher) OpenID() (id uint64, ok bool) {
+	return b.id, b.open
+}
+
+// OpenCount returns the blocks in the open batch (0 when none is open).
+func (b *Batcher) OpenCount() int {
+	if !b.open {
+		return 0
+	}
+	return b.count
+}
+
+// OpenedAt returns when the current batch opened; meaningful only when
+// OpenCount() > 0.
+func (b *Batcher) OpenedAt() sim.Cycle { return b.openedAt }
+
+func (b *Batcher) close() *ClosedBatch {
+	cb := &ClosedBatch{BatchID: b.id, Len: b.count, MAC: BatchMAC(b.gen, b.macs)}
+	b.open = false
+	return cb
+}
+
+// BatchMAC computes the Batched_MsgMAC over concatenated per-block MsgMACs
+// (Formula 5). With a nil generator it returns a length-tagged placeholder
+// so timing-only runs still exercise mismatch handling.
+func BatchMAC(gen *crypto.PadGenerator, concatenated []byte) [crypto.MACBytes]byte {
+	var out [crypto.MACBytes]byte
+	if gen == nil {
+		binary.BigEndian.PutUint32(out[:4], uint32(len(concatenated)))
+		return out
+	}
+	digest := gen.Digest(concatenated)
+	copy(out[:], digest[:crypto.MACBytes])
+	return out
+}
+
+// MACStore is the receiver-side MsgMAC storage of Figure 20 for one source.
+// Because delivery within a (source, destination) pair is FIFO, at most one
+// batch is filling at a time, but the Batched_MsgMAC may arrive before or
+// after the final block, and a timeout-flushed batch may close early; the
+// store handles every interleaving.
+type MACStore struct {
+	capacity int
+	gen      *crypto.PadGenerator
+
+	batchID uint64
+	started bool
+	macs    []byte
+	count   int
+
+	// pending holds a Batched_MsgMAC that arrived ahead of its blocks.
+	pending *ClosedBatch
+
+	verified uint64
+	failed   uint64
+	dropped  uint64
+}
+
+// VerifyResult reports a completed batch verification.
+type VerifyResult struct {
+	BatchID uint64
+	Len     int
+	OK      bool
+}
+
+// NewMACStore creates a receiver-side store holding up to capacity per-block
+// MACs (the paper's max(16,64) x 8B per peer).
+func NewMACStore(capacity int, gen *crypto.PadGenerator) *MACStore {
+	if capacity < 1 {
+		panic("core: MAC store capacity must be positive")
+	}
+	return &MACStore{capacity: capacity, gen: gen}
+}
+
+// OnBlock records the locally computed MsgMAC for a received block. If the
+// batch's Batched_MsgMAC already arrived and this block completes it, the
+// verification result is returned.
+func (s *MACStore) OnBlock(tag BlockTag, mac [crypto.MACBytes]byte) *VerifyResult {
+	if !s.started || tag.BatchID != s.batchID {
+		// A new batch implicitly retires any stale unfinished one
+		// (possible only after a resynchronizing fault; count it).
+		if s.started && s.count > 0 {
+			s.dropped++
+		}
+		s.started = true
+		s.batchID = tag.BatchID
+		s.macs = s.macs[:0]
+		s.count = 0
+	}
+	if s.count >= s.capacity {
+		// Storage exhausted: verification for this batch is abandoned.
+		s.dropped++
+		return nil
+	}
+	s.macs = append(s.macs, mac[:]...)
+	s.count++
+	if s.pending != nil && s.pending.BatchID == tag.BatchID && s.count == s.pending.Len {
+		cb := s.pending
+		s.pending = nil
+		return s.finish(cb)
+	}
+	return nil
+}
+
+// OnBatchMAC receives the Batched_MsgMAC. If all covered blocks are already
+// stored the verification result is returned; otherwise it is held until
+// the final block arrives.
+func (s *MACStore) OnBatchMAC(cb *ClosedBatch) *VerifyResult {
+	if s.started && cb.BatchID == s.batchID && s.count >= cb.Len {
+		return s.finish(cb)
+	}
+	s.pending = cb
+	return nil
+}
+
+func (s *MACStore) finish(cb *ClosedBatch) *VerifyResult {
+	ok := BatchMAC(s.gen, s.macs[:cb.Len*crypto.MACBytes]) == cb.MAC
+	if ok {
+		s.verified++
+	} else {
+		s.failed++
+	}
+	s.started = false
+	s.count = 0
+	s.macs = s.macs[:0]
+	return &VerifyResult{BatchID: cb.BatchID, Len: cb.Len, OK: ok}
+}
+
+// Verified returns the count of successfully verified batches.
+func (s *MACStore) Verified() uint64 { return s.verified }
+
+// Failed returns the count of batches whose Batched_MsgMAC mismatched.
+func (s *MACStore) Failed() uint64 { return s.failed }
+
+// Dropped returns batches abandoned due to capacity or resync faults.
+func (s *MACStore) Dropped() uint64 { return s.dropped }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmgpu/internal/crypto"
+)
+
+func newGen(t *testing.T) *crypto.PadGenerator {
+	t.Helper()
+	g, err := crypto.NewPadGenerator([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatalf("NewPadGenerator: %v", err)
+	}
+	return g
+}
+
+func mac(i int) [crypto.MACBytes]byte {
+	var m [crypto.MACBytes]byte
+	m[0] = byte(i)
+	m[7] = byte(i * 31)
+	return m
+}
+
+func TestBatcherClosesAtN(t *testing.T) {
+	b := NewBatcher(4, 200, nil)
+	for i := 0; i < 3; i++ {
+		tag, closed := b.Add(100, mac(i))
+		if closed != nil {
+			t.Fatalf("batch closed early at block %d", i)
+		}
+		if tag.Index != i || tag.BatchID != 0 || tag.First != (i == 0) {
+			t.Fatalf("tag %d = %+v", i, tag)
+		}
+	}
+	tag, closed := b.Add(100, mac(3))
+	if closed == nil {
+		t.Fatal("batch did not close at n=4")
+	}
+	if tag.Index != 3 || closed.Len != 4 || closed.BatchID != 0 {
+		t.Fatalf("tag=%+v closed=%+v", tag, closed)
+	}
+	// Next block opens batch 1.
+	tag, _ = b.Add(200, mac(4))
+	if tag.BatchID != 1 || !tag.First {
+		t.Fatalf("next tag=%+v, want start of batch 1", tag)
+	}
+}
+
+func TestBatcherFlushPartial(t *testing.T) {
+	b := NewBatcher(16, 200, nil)
+	if b.Flush() != nil {
+		t.Fatal("flush of empty batcher returned a batch")
+	}
+	b.Add(100, mac(0))
+	b.Add(100, mac(1))
+	if b.OpenCount() != 2 {
+		t.Fatalf("open count=%d, want 2", b.OpenCount())
+	}
+	closed := b.Flush()
+	if closed == nil || closed.Len != 2 {
+		t.Fatalf("flushed=%+v, want partial batch of 2", closed)
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("open count after flush=%d", b.OpenCount())
+	}
+}
+
+func TestBatcherTimeout(t *testing.T) {
+	b := NewBatcher(16, 200, nil)
+	b.Add(100, mac(0))
+	if b.TimedOut(250) {
+		t.Error("timed out too early (opened 100, timeout 200)")
+	}
+	if !b.TimedOut(300) {
+		t.Error("not timed out at 300")
+	}
+	b.Flush()
+	if b.TimedOut(10000) {
+		t.Error("empty batcher reports timeout")
+	}
+}
+
+func TestBatchMACRoundTrip(t *testing.T) {
+	gen := newGen(t)
+	b := NewBatcher(3, 0, gen)
+	s := NewMACStore(64, gen)
+
+	var closed *ClosedBatch
+	var tags []BlockTag
+	for i := 0; i < 3; i++ {
+		tag, c := b.Add(100, mac(i))
+		tags = append(tags, tag)
+		if c != nil {
+			closed = c
+		}
+	}
+	if closed == nil {
+		t.Fatal("no closed batch")
+	}
+	// Blocks arrive in order, then the batch MAC.
+	for i, tag := range tags {
+		if res := s.OnBlock(tag, mac(i)); res != nil {
+			t.Fatalf("verification fired before batch MAC arrived: %+v", res)
+		}
+	}
+	res := s.OnBatchMAC(closed)
+	if res == nil || !res.OK || res.Len != 3 {
+		t.Fatalf("verification=%+v, want OK over 3 blocks", res)
+	}
+	if s.Verified() != 1 || s.Failed() != 0 {
+		t.Fatalf("verified=%d failed=%d", s.Verified(), s.Failed())
+	}
+}
+
+func TestBatchMACArrivesBeforeLastBlock(t *testing.T) {
+	gen := newGen(t)
+	b := NewBatcher(3, 0, gen)
+	s := NewMACStore(64, gen)
+	var closed *ClosedBatch
+	var tags []BlockTag
+	for i := 0; i < 3; i++ {
+		tag, c := b.Add(100, mac(i))
+		tags = append(tags, tag)
+		if c != nil {
+			closed = c
+		}
+	}
+	s.OnBlock(tags[0], mac(0))
+	if res := s.OnBatchMAC(closed); res != nil {
+		t.Fatalf("verified with only 1/3 blocks: %+v", res)
+	}
+	s.OnBlock(tags[1], mac(1))
+	res := s.OnBlock(tags[2], mac(2))
+	if res == nil || !res.OK {
+		t.Fatalf("final block did not trigger verification: %+v", res)
+	}
+}
+
+func TestBatchMACDetectsTampering(t *testing.T) {
+	gen := newGen(t)
+	b := NewBatcher(2, 0, gen)
+	s := NewMACStore(64, gen)
+	tag0, _ := b.Add(100, mac(0))
+	tag1, closed := b.Add(100, mac(1))
+	s.OnBlock(tag0, mac(0))
+	s.OnBlock(tag1, mac(99)) // receiver computes a different MAC for block 1
+	res := s.OnBatchMAC(closed)
+	if res == nil || res.OK {
+		t.Fatalf("tampered batch verified: %+v", res)
+	}
+	if s.Failed() != 1 {
+		t.Fatalf("failed=%d, want 1", s.Failed())
+	}
+}
+
+func TestMACStoreCapacityDrops(t *testing.T) {
+	s := NewMACStore(2, nil)
+	for i := 0; i < 4; i++ {
+		s.OnBlock(BlockTag{BatchID: 0, Index: i}, mac(i))
+	}
+	if s.Dropped() == 0 {
+		t.Error("overflowing the MsgMAC storage did not record drops")
+	}
+}
+
+func TestMACStoreNewBatchRetiresStale(t *testing.T) {
+	gen := newGen(t)
+	s := NewMACStore(64, gen)
+	s.OnBlock(BlockTag{BatchID: 0, Index: 0}, mac(0))
+	// Batch 1 starts without batch 0 ever completing.
+	s.OnBlock(BlockTag{BatchID: 1, Index: 0, First: true}, mac(1))
+	if s.Dropped() != 1 {
+		t.Errorf("dropped=%d, want 1 stale batch", s.Dropped())
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero batch size did not panic")
+		}
+	}()
+	NewBatcher(0, 0, nil)
+}
+
+func TestMACStoreValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewMACStore(0, nil)
+}
+
+// Property: for any sequence of blocks split into batches of any size and
+// any flush pattern, every closed batch verifies at an in-sync receiver and
+// batch IDs increase by one.
+func TestBatchingEndToEndProperty(t *testing.T) {
+	gen := newGen(t)
+	prop := func(blocks []byte, nRaw, flushEvery uint8) bool {
+		n := int(nRaw%16) + 1
+		fe := int(flushEvery%7) + 3
+		b := NewBatcher(n, 0, gen)
+		s := NewMACStore(64, gen)
+		verified := 0
+		wantVerified := 0
+		var lastID uint64
+		first := true
+		handleClosed := func(cb *ClosedBatch) bool {
+			if cb == nil {
+				return true
+			}
+			wantVerified++
+			if !first && cb.BatchID != lastID+1 {
+				return false
+			}
+			first = false
+			lastID = cb.BatchID
+			res := s.OnBatchMAC(cb)
+			if res == nil || !res.OK {
+				return false
+			}
+			verified++
+			return true
+		}
+		for i, blk := range blocks {
+			m := mac(int(blk))
+			tag, closed := b.Add(0, m)
+			s.OnBlock(tag, m)
+			if !handleClosed(closed) {
+				return false
+			}
+			if i%fe == fe-1 {
+				if !handleClosed(b.Flush()) {
+					return false
+				}
+			}
+		}
+		if !handleClosed(b.Flush()) {
+			return false
+		}
+		return verified == wantVerified && s.Failed() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}

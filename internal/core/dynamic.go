@@ -1,0 +1,297 @@
+// Package core implements the paper's two contributions (Section IV):
+//
+//   - Dynamic OTP buffer management: each processor monitors its
+//     communication per interval T, maintains exponentially weighted moving
+//     averages of the send/receive balance and of each peer's share, and
+//     re-partitions its fixed pad-entry budget accordingly (Formulas 1-4,
+//     Figure 18, Table II).
+//   - Security metadata batching: MsgMACs of up to n consecutive data blocks
+//     to the same destination are aggregated into a single Batched_MsgMAC
+//     with one ACK, with a receiver-side MsgMAC storage handling
+//     out-of-order arrival and lazy integrity verification (Figures 19-20,
+//     Formula 5).
+//
+// Table II variable mapping: SReq_i/RReq_i are the interval request
+// counters; S_i is sendWeight; S^m_n,i / R^m_n,i are peerWeight[Send/Recv];
+// SPad_i/RPad_i and SPad^m/RPad^m are the apportioned depths pushed into the
+// underlying adjustable pad table; alpha and beta are the forgetting rates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/sim"
+)
+
+// Dynamic is the paper's dynamic OTP buffer manager. It satisfies
+// otp.Manager; AdjustInterval must be invoked every T cycles (the machine
+// layer drives it from a sim.Ticker).
+type Dynamic struct {
+	table  *otp.Adjustable
+	peers  int
+	budget int
+	alpha  float64
+	beta   float64
+
+	// Interval counters (SReq_i, RReq_i and their per-peer breakdowns).
+	req     [2]uint64
+	reqPeer [2][]uint64
+
+	// EWMA state: the send-direction weight S_i and per-peer weights.
+	sendWeight float64
+	peerWeight [2][]float64
+
+	intervals uint64
+}
+
+// NewDynamic creates a dynamic manager with the given total pad budget
+// (iso-storage with Private: peers x 2 x multiplier). The initial partition
+// is uniform, exactly like Private's (Section IV-B: "initially allocates an
+// equal number of OTP buffer entries").
+func NewDynamic(peers, budget int, alpha, beta float64, eng *crypto.Engine) *Dynamic {
+	if peers < 1 {
+		panic("core: Dynamic needs at least one peer")
+	}
+	if budget < 2*peers {
+		panic(fmt.Sprintf("core: budget %d cannot cover %d streams", budget, 2*peers))
+	}
+	if alpha < 0 || alpha > 1 || beta < 0 || beta > 1 {
+		panic("core: alpha and beta must be in [0,1]")
+	}
+	d := &Dynamic{
+		table:      otp.NewAdjustable(peers, budget/(2*peers), eng),
+		peers:      peers,
+		budget:     budget,
+		alpha:      alpha,
+		beta:       beta,
+		sendWeight: 0.5,
+	}
+	for dir := range d.reqPeer {
+		d.reqPeer[dir] = make([]uint64, peers)
+		d.peerWeight[dir] = make([]float64, peers)
+		for p := range d.peerWeight[dir] {
+			d.peerWeight[dir][p] = 1 / float64(peers)
+		}
+	}
+	return d
+}
+
+// Name returns "Dynamic".
+func (d *Dynamic) Name() string { return "Dynamic" }
+
+// UseSend obtains the send pad for peer, recording the request for the
+// monitoring phase.
+func (d *Dynamic) UseSend(now sim.Cycle, peer int) otp.Use {
+	d.req[otp.Send]++
+	d.reqPeer[otp.Send][peer]++
+	return d.table.UseSend(now, peer)
+}
+
+// UseRecv obtains the receive pad for peer's counter ctr, recording the
+// request for the monitoring phase.
+func (d *Dynamic) UseRecv(now sim.Cycle, peer int, ctr uint64) otp.Use {
+	d.req[otp.Recv]++
+	d.reqPeer[otp.Recv][peer]++
+	return d.table.UseRecv(now, peer, ctr)
+}
+
+// Stats returns the accumulated outcome counts.
+func (d *Dynamic) Stats() *otp.Stats { return d.table.Stats() }
+
+// minIntervalSamples is the smallest interval population the EWMA updates
+// trust. An interval with a handful of requests says little about the
+// communication pattern; folding it in at full alpha/beta weight would let
+// idle-tail noise swing the whole partition.
+const minIntervalSamples = 16
+
+// AdjustInterval runs the OTP buffer adjustment phase at the end of one
+// monitoring interval, applying Formulas 1-4 and resetting the counters.
+func (d *Dynamic) AdjustInterval(now sim.Cycle) {
+	d.intervals++
+	sReq, rReq := d.req[otp.Send], d.req[otp.Recv]
+	total := sReq + rReq
+	if total >= minIntervalSamples {
+		// Formula 1: S_{i+1} = (1-a) S_i + a * SReq/(SReq+RReq).
+		d.sendWeight = (1-d.alpha)*d.sendWeight + d.alpha*(float64(sReq)/float64(total))
+	}
+	// Formula 3, per direction: the per-peer weight moves toward the
+	// peer's measured share of that direction's requests. With too little
+	// traffic in a direction this interval, the history is kept unchanged.
+	for _, dir := range []otp.Direction{otp.Send, otp.Recv} {
+		dirTotal := d.req[dir]
+		if dirTotal < minIntervalSamples/2 {
+			continue
+		}
+		for p := 0; p < d.peers; p++ {
+			share := float64(d.reqPeer[dir][p]) / float64(dirTotal)
+			d.peerWeight[dir][p] = (1-d.beta)*d.peerWeight[dir][p] + d.beta*share
+		}
+	}
+
+	// Formula 2: split the budget between directions. Each direction keeps
+	// at least one entry per peer: a starved direction throttles its own
+	// traffic, which would drive its measured share — and therefore its
+	// next allocation — further down (a positive feedback loop the raw
+	// formulas admit).
+	dirMin := 2 * d.peers
+	if 2*dirMin > d.budget {
+		dirMin = d.budget / 2
+	}
+	sPad := int(math.Round(float64(d.budget) * d.sendWeight))
+	if sPad < dirMin {
+		sPad = dirMin
+	}
+	if sPad > d.budget-dirMin {
+		sPad = d.budget - dirMin
+	}
+	rPad := d.budget - sPad
+
+	// Formula 4: split each direction's pads across peers, using largest
+	// remainder apportionment so the integer depths sum exactly to the
+	// direction's allocation. Every stream keeps at least one entry when
+	// the direction's share allows it: a zero allocation would turn the
+	// first burst of a newly active pair into a train of on-demand
+	// generations before the next adjustment could react.
+	type target struct {
+		dir   otp.Direction
+		peer  int
+		cur   int
+		want  int
+		final int
+	}
+	var targets []target
+	for dirIdx, dirPads := range [2]int{sPad, rPad} {
+		dir := otp.Direction(dirIdx)
+		depths := apportionFloor(dirPads, d.peerWeight[dir], 1)
+		for p, depth := range depths {
+			cur := d.table.Depth(dir, p)
+			final := depth
+			// Hysteresis: a one-entry delta is within measurement noise
+			// and re-slotting a stream is not free, so such changes are
+			// deferred unless needed to balance the budget below.
+			if depth == cur+1 || depth == cur-1 {
+				final = cur
+			}
+			targets = append(targets, target{dir, p, cur, depth, final})
+		}
+	}
+	sum := 0
+	for _, t := range targets {
+		sum += t.final
+	}
+	// Re-apply just enough deferred one-entry deltas to keep the total
+	// exactly at the budget.
+	for i := range targets {
+		if sum == d.budget {
+			break
+		}
+		t := &targets[i]
+		if t.final == t.want {
+			continue
+		}
+		if sum < d.budget && t.want > t.final {
+			t.final = t.want
+			sum++
+		} else if sum > d.budget && t.want < t.final {
+			t.final = t.want
+			sum--
+		}
+	}
+	for _, t := range targets {
+		if t.final != t.cur {
+			d.table.SetDepth(t.dir, t.peer, t.final, now)
+		}
+	}
+
+	d.req[otp.Send], d.req[otp.Recv] = 0, 0
+	for dir := range d.reqPeer {
+		for p := range d.reqPeer[dir] {
+			d.reqPeer[dir][p] = 0
+		}
+	}
+}
+
+// SendWeight exposes S_i for tests and reporting.
+func (d *Dynamic) SendWeight() float64 { return d.sendWeight }
+
+// Depth reports the current allocation of one stream.
+func (d *Dynamic) Depth(dir otp.Direction, peer int) int { return d.table.Depth(dir, peer) }
+
+// TotalDepth reports the summed allocation, which never exceeds the budget.
+func (d *Dynamic) TotalDepth() int { return d.table.TotalDepth() }
+
+// Intervals reports how many adjustment phases have run.
+func (d *Dynamic) Intervals() uint64 { return d.intervals }
+
+// apportionFloor gives every stream floor units first (when total covers
+// it) and apportions the remainder proportionally to weights.
+func apportionFloor(total int, weights []float64, floor int) []int {
+	n := len(weights)
+	if total < floor*n {
+		return apportion(total, weights)
+	}
+	out := apportion(total-floor*n, weights)
+	for i := range out {
+		out[i] += floor
+	}
+	return out
+}
+
+// apportion distributes total units proportionally to weights using the
+// largest remainder method. Weights may be unnormalized; non-positive or
+// NaN weights get nothing unless everything is non-positive, in which case
+// the units are spread evenly.
+func apportion(total int, weights []float64) []int {
+	n := len(weights)
+	out := make([]int, n)
+	if total <= 0 || n == 0 {
+		return out
+	}
+	var sum float64
+	for _, w := range weights {
+		if w > 0 && !math.IsNaN(w) && !math.IsInf(w, 0) {
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = total / n
+		}
+		for i := 0; i < total%n; i++ {
+			out[i]++
+		}
+		return out
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	rems := make([]frac, 0, n)
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			rems = append(rems, frac{i, 0})
+			continue
+		}
+		exact := float64(total) * w / sum
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		assigned += int(fl)
+		rems = append(rems, frac{i, exact - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].rem != rems[b].rem {
+			return rems[a].rem > rems[b].rem
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total && i < len(rems); i++ {
+		out[rems[i].idx]++
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/sim"
+)
+
+const aesLat = 40
+
+func newDyn(t *testing.T, peers, budget int) *Dynamic {
+	t.Helper()
+	return NewDynamic(peers, budget, 0.9, 0.5, crypto.NewEngine(aesLat))
+}
+
+func TestDynamicStartsLikePrivate(t *testing.T) {
+	d := newDyn(t, 4, 32)
+	for _, dir := range []otp.Direction{otp.Send, otp.Recv} {
+		for p := 0; p < 4; p++ {
+			if got := d.Depth(dir, p); got != 4 {
+				t.Errorf("initial depth[%v][%d]=%d, want 4 (equal split)", dir, p, got)
+			}
+		}
+	}
+	if d.TotalDepth() != 32 {
+		t.Fatalf("total=%d, want 32", d.TotalDepth())
+	}
+	if d.SendWeight() != 0.5 {
+		t.Fatalf("initial S=%v, want 0.5", d.SendWeight())
+	}
+}
+
+func TestDynamicFormula1SendWeight(t *testing.T) {
+	d := newDyn(t, 4, 32)
+	// Interval with 90 sends, 10 receives: S1 = 0.1*0.5 + 0.9*0.9 = 0.86.
+	for i := 0; i < 90; i++ {
+		d.UseSend(100, 0)
+	}
+	for i := 0; i < 10; i++ {
+		d.UseRecv(100, 1, uint64(i))
+	}
+	d.AdjustInterval(1000)
+	if got := d.SendWeight(); math.Abs(got-0.86) > 1e-9 {
+		t.Errorf("S after interval = %v, want 0.86 (Formula 1)", got)
+	}
+}
+
+func TestDynamicShiftsBudgetTowardSendDirection(t *testing.T) {
+	d := newDyn(t, 4, 32)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 100; i++ {
+			d.UseSend(sim.Cycle(1000*round), i%4)
+		}
+		d.AdjustInterval(sim.Cycle(1000 * (round + 1)))
+	}
+	var sendTotal, recvTotal int
+	for p := 0; p < 4; p++ {
+		sendTotal += d.Depth(otp.Send, p)
+		recvTotal += d.Depth(otp.Recv, p)
+	}
+	// The receive direction keeps its floor of 2 entries per peer; all
+	// remaining budget should have moved to the send direction.
+	if recvTotal != 8 || sendTotal != 24 {
+		t.Errorf("send=%d recv=%d; want maximal skew 24/8 under the floor", sendTotal, recvTotal)
+	}
+	if d.TotalDepth() != 32 {
+		t.Errorf("total=%d, want budget 32 preserved", d.TotalDepth())
+	}
+}
+
+func TestDynamicShiftsBudgetTowardHotPeer(t *testing.T) {
+	d := newDyn(t, 4, 32)
+	// All send traffic goes to peer 2.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 50; i++ {
+			d.UseSend(sim.Cycle(1000*round), 2)
+		}
+		// Keep receive direction alive so it retains some budget.
+		for i := 0; i < 50; i++ {
+			d.UseRecv(sim.Cycle(1000*round), 0, uint64(round*50+i))
+		}
+		d.AdjustInterval(sim.Cycle(1000 * (round + 1)))
+	}
+	hot := d.Depth(otp.Send, 2)
+	for p := 0; p < 4; p++ {
+		if p == 2 {
+			continue
+		}
+		if cold := d.Depth(otp.Send, p); cold >= hot {
+			t.Errorf("cold peer %d depth=%d >= hot peer depth=%d", p, cold, hot)
+		}
+	}
+	if hot < 10 {
+		t.Errorf("hot peer depth=%d, want most of the send allocation", hot)
+	}
+}
+
+func TestDynamicEmptyIntervalKeepsAllocation(t *testing.T) {
+	d := newDyn(t, 4, 32)
+	before := make([]int, 4)
+	for p := range before {
+		before[p] = d.Depth(otp.Send, p)
+	}
+	d.AdjustInterval(1000)
+	d.AdjustInterval(2000)
+	for p := range before {
+		if got := d.Depth(otp.Send, p); got != before[p] {
+			t.Errorf("idle interval changed depth[send][%d]: %d -> %d", p, before[p], got)
+		}
+	}
+	if d.Intervals() != 2 {
+		t.Errorf("intervals=%d, want 2", d.Intervals())
+	}
+}
+
+func TestDynamicImprovesHitRateOnSkewedTraffic(t *testing.T) {
+	// The headline behaviour: with traffic concentrated on one peer,
+	// Dynamic should hide more latency than Private at equal budget.
+	eng1 := crypto.NewEngine(aesLat)
+	eng2 := crypto.NewEngine(aesLat)
+	priv := otp.NewPrivate(4, 4, eng1)
+	dyn := NewDynamic(4, 32, 0.9, 0.5, eng2)
+
+	run := func(m otp.Manager, adjust func(sim.Cycle)) float64 {
+		now := sim.Cycle(1000)
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 10; i++ {
+				m.UseSend(now, 1) // 10-deep same-cycle burst to peer 1
+			}
+			now += 1000
+			if adjust != nil {
+				adjust(now)
+			}
+		}
+		return m.Stats().HiddenFraction(otp.Send)
+	}
+	ph := run(priv, nil)
+	dh := run(dyn, func(at sim.Cycle) { dyn.AdjustInterval(at) })
+	if dh <= ph {
+		t.Errorf("dynamic hidden=%.3f <= private hidden=%.3f on skewed bursts", dh, ph)
+	}
+}
+
+func TestDynamicConstructorValidation(t *testing.T) {
+	eng := crypto.NewEngine(aesLat)
+	cases := map[string]func(){
+		"no peers":    func() { NewDynamic(0, 8, 0.9, 0.5, eng) },
+		"tiny budget": func() { NewDynamic(4, 4, 0.9, 0.5, eng) },
+		"alpha out":   func() { NewDynamic(4, 32, 1.5, 0.5, eng) },
+		"beta out":    func() { NewDynamic(4, 32, 0.9, -0.5, eng) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: after any traffic pattern and any number of adjustments, the
+// total allocation equals the budget exactly (pads are conserved).
+func TestDynamicBudgetConservationProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		d := NewDynamic(4, 32, 0.9, 0.5, crypto.NewEngine(aesLat))
+		now := sim.Cycle(1)
+		ctrs := make([]uint64, 4)
+		for _, op := range ops {
+			peer := int(op % 4)
+			switch (op / 4) % 3 {
+			case 0:
+				d.UseSend(now, peer)
+			case 1:
+				d.UseRecv(now, peer, ctrs[peer])
+				ctrs[peer]++
+			case 2:
+				now += 1000
+				d.AdjustInterval(now)
+			}
+			if d.TotalDepth() != 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{0.5, 0.5}, []int{5, 5}},
+		{10, []float64{1, 0, 0}, []int{10, 0, 0}},
+		{7, []float64{0.5, 0.25, 0.25}, []int{3, 2, 2}},
+		{0, []float64{1, 2}, []int{0, 0}},
+		{5, []float64{0, 0}, []int{3, 2}},
+		{4, []float64{math.NaN(), 1}, []int{0, 4}},
+	}
+	for _, c := range cases {
+		got := apportion(c.total, c.weights)
+		sum := 0
+		for i := range got {
+			sum += got[i]
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("apportion(%d, %v) = %v, want %v", c.total, c.weights, got, c.want)
+				break
+			}
+		}
+		if sum != c.total && c.total > 0 {
+			t.Errorf("apportion(%d, %v) sums to %d", c.total, c.weights, sum)
+		}
+	}
+}
+
+// Property: apportion always conserves the total and never returns
+// negatives for arbitrary weights.
+func TestApportionConservationProperty(t *testing.T) {
+	prop := func(total uint8, raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		for i, r := range raw {
+			weights[i] = float64(r)
+		}
+		got := apportion(int(total), weights)
+		sum := 0
+		for _, g := range got {
+			if g < 0 {
+				return false
+			}
+			sum += g
+		}
+		return sum == int(total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}

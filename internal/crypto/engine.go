@@ -1,0 +1,64 @@
+package crypto
+
+import "secmgpu/internal/sim"
+
+// Engine models the fully pipelined AES-GCM hardware of Section IV-A: each
+// pad generation takes Latency cycles end to end, and Lanes generations can
+// be issued per cycle (a node has separate encrypt and decrypt pipelines,
+// Figure 17 draws "AES-GCM engines" plural). The OTP buffer schemes use the
+// returned ready-cycle to classify each pad use as a hit (ready before
+// use), partially hidden (generation in flight), or miss (generation had
+// not started).
+type Engine struct {
+	// Latency is the pad-generation latency in cycles (40 in Table III;
+	// Figure 26 sweeps 10-40).
+	Latency sim.Cycle
+	// Lanes is the number of generations that can start per cycle.
+	Lanes int
+
+	lastIssue  sim.Cycle
+	issuedInCy int
+	issued     uint64
+	hasIssued  bool
+}
+
+// NewEngine creates a pipelined engine with the given latency and two
+// issue lanes (encrypt + decrypt pipelines).
+func NewEngine(latency sim.Cycle) *Engine {
+	return NewEngineLanes(latency, 2)
+}
+
+// NewEngineLanes creates a pipelined engine with an explicit lane count.
+func NewEngineLanes(latency sim.Cycle, lanes int) *Engine {
+	if latency == 0 {
+		panic("crypto: engine latency must be positive")
+	}
+	if lanes < 1 {
+		panic("crypto: engine needs at least one lane")
+	}
+	return &Engine{Latency: latency, Lanes: lanes}
+}
+
+// Issue starts one pad generation at cycle now (or as soon as an issue lane
+// frees up) and returns the cycle the pad becomes ready.
+func (e *Engine) Issue(now sim.Cycle) (ready sim.Cycle) {
+	start := now
+	if e.hasIssued && start < e.lastIssue {
+		start = e.lastIssue
+	}
+	if e.hasIssued && start == e.lastIssue && e.issuedInCy >= e.Lanes {
+		start++
+	}
+	if start != e.lastIssue || !e.hasIssued {
+		e.issuedInCy = 0
+	}
+	e.lastIssue = start
+	e.issuedInCy++
+	e.hasIssued = true
+	e.issued++
+	return start + e.Latency
+}
+
+// Issued reports how many generations have been started, for utilization
+// statistics.
+func (e *Engine) Issued() uint64 { return e.issued }

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+)
+
+// Ablations beyond the paper: sensitivity of the proposed mechanisms to
+// their own design parameters, called out in DESIGN.md.
+
+// AblationAlphaBeta sweeps the EWMA forgetting rates of the Dynamic
+// allocator (the paper fixes alpha=0.9, beta=0.5 "based on experiments").
+func AblationAlphaBeta(p Params) (*Table, error) {
+	t := &Table{
+		ID:       "Ablation A1",
+		Title:    "Dynamic allocator sensitivity to alpha/beta (avg normalized exec time)",
+		RowLabel: "alpha",
+	}
+	betas := []float64{0.25, 0.5, 0.75}
+	for _, b := range betas {
+		t.Columns = append(t.Columns, fmt.Sprintf("beta=%.2f", b))
+	}
+	for _, a := range []float64{0.5, 0.7, 0.9, 1.0} {
+		row := Row{Label: fmt.Sprintf("%.2f", a)}
+		for _, b := range betas {
+			a, b := a, b
+			sch := Scheme{Name: "Dynamic", Mutate: func(c *config.Config) {
+				Dynamic4x.Mutate(c)
+				c.Alpha = a
+				c.Beta = b
+			}}
+			sub, err := normalizedExecTable("", "", p, []Scheme{sch})
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, sub.MeanRow().Values[0])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationBatchSize sweeps the metadata batch size n (the paper picks 16
+// from the burstiness study of Figures 15-16).
+func AblationBatchSize(p Params) (*Table, error) {
+	var schemes []Scheme
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		n := n
+		schemes = append(schemes, Scheme{
+			Name: fmt.Sprintf("n=%d", n),
+			Mutate: func(c *config.Config) {
+				Ours4x.Mutate(c)
+				c.BatchSize = n
+			},
+		})
+	}
+	return normalizedExecTable("Ablation A2",
+		"Batch-size sensitivity of Dynamic+Batching (normalized exec time)",
+		p, schemes)
+}
+
+// AblationBatchTimeout sweeps the partial-batch flush timeout.
+func AblationBatchTimeout(p Params) (*Table, error) {
+	var schemes []Scheme
+	for _, to := range []uint64{50, 200, 800, 3200} {
+		to := to
+		schemes = append(schemes, Scheme{
+			Name: fmt.Sprintf("timeout=%d", to),
+			Mutate: func(c *config.Config) {
+				Ours4x.Mutate(c)
+				c.BatchFlushTimeout = to
+			},
+		})
+	}
+	return normalizedExecTable("Ablation A3",
+		"Flush-timeout sensitivity of Dynamic+Batching (normalized exec time)",
+		p, schemes)
+}
+
+// AblationDecomposition isolates each contribution: Dynamic alone, Batching
+// alone (on top of Private), and both, against the Private baseline. The
+// paper only reports the stacked +Dynamic/+Batching variants.
+func AblationDecomposition(p Params) (*Table, error) {
+	batchingOnly := Scheme{Name: "Private+Batching", Mutate: func(c *config.Config) {
+		Private4x.Mutate(c)
+		c.Batching = true
+	}}
+	return normalizedExecTable("Ablation A4",
+		"Contribution decomposition (normalized exec time)",
+		p, []Scheme{Private4x, Dynamic4x, batchingOnly, Ours4x})
+}
+
+// AblationOracle bounds the schemes against an idealized always-ready pad
+// table: the residual overhead of Oracle+Batching is the irreducible
+// metadata cost no OTP buffer policy can remove.
+func AblationOracle(p Params) (*Table, error) {
+	oracle := Scheme{Name: "Oracle", Mutate: func(c *config.Config) {
+		c.Secure = true
+		c.Scheme = config.OTPOracle
+	}}
+	oracleBatch := Scheme{Name: "Oracle+Batching", Mutate: func(c *config.Config) {
+		c.Secure = true
+		c.Scheme = config.OTPOracle
+		c.Batching = true
+	}}
+	return normalizedExecTable("Ablation A5",
+		"Upper bound: idealized pads vs the real schemes (normalized exec time)",
+		p, []Scheme{Private4x, Ours4x, oracle, oracleBatch})
+}
+
+// AblationTLB turns on the address-translation hierarchy (L1/L2 TLB +
+// IOMMU walks) that the main evaluation holds constant, showing that the
+// scheme comparison is insensitive to it: both the baseline and the secure
+// schemes pay the same translation cost, so normalized overheads barely
+// move.
+func AblationTLB(p Params) (*Table, error) {
+	withTLB := func(inner func(*config.Config)) func(*config.Config) {
+		return func(c *config.Config) {
+			inner(c)
+			c.ModelTLB = true
+		}
+	}
+	schemes := []Scheme{
+		{Name: "Private+TLB", Mutate: withTLB(Private4x.Mutate)},
+		{Name: "Ours+TLB", Mutate: withTLB(Ours4x.Mutate)},
+	}
+	all := append([]Scheme{{Name: "UnsecureTLB", Mutate: withTLB(Unsecure.Mutate)}}, schemes...)
+	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:       "Ablation A6",
+		Title:    "Scheme overheads with the TLB/IOMMU hierarchy enabled (normalized to unsecure+TLB)",
+		RowLabel: "workload",
+		Columns:  []string{"Private+TLB", "Ours+TLB"},
+	}
+	for wi, spec := range specs {
+		base := float64(grid[wi][0].Cycles)
+		t.Rows = append(t.Rows, Row{Label: spec.Abbr, Values: []float64{
+			float64(grid[wi][1].Cycles) / base,
+			float64(grid[wi][2].Cycles) / base,
+		}})
+	}
+	sortRows(t.Rows)
+	return t, nil
+}
+
+// AblationTopology compares the schemes on a switch-based (NVSwitch-like)
+// fabric against the default point-to-point links: batching's message-count
+// savings matter on both, so the scheme ordering is topology-robust.
+func AblationTopology(p Params) (*Table, error) {
+	sw := func(inner func(*config.Config)) func(*config.Config) {
+		return func(c *config.Config) {
+			inner(c)
+			c.SwitchTopology = true
+		}
+	}
+	schemes := []Scheme{
+		Private4x,
+		Ours4x,
+		{Name: "Private (switch)", Mutate: sw(Private4x.Mutate)},
+		{Name: "Ours (switch)", Mutate: sw(Ours4x.Mutate)},
+	}
+	all := append([]Scheme{Unsecure, {Name: "Unsecure (switch)", Mutate: sw(Unsecure.Mutate)}}, schemes...)
+	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:       "Ablation A7",
+		Title:    "Scheme overheads on p2p vs switch fabrics (normalized to the matching unsecure system)",
+		RowLabel: "workload",
+	}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	for wi, spec := range specs {
+		p2pBase := float64(grid[wi][0].Cycles)
+		swBase := float64(grid[wi][1].Cycles)
+		t.Rows = append(t.Rows, Row{Label: spec.Abbr, Values: []float64{
+			float64(grid[wi][2].Cycles) / p2pBase,
+			float64(grid[wi][3].Cycles) / p2pBase,
+			float64(grid[wi][4].Cycles) / swBase,
+			float64(grid[wi][5].Cycles) / swBase,
+		}})
+	}
+	sortRows(t.Rows)
+	return t, nil
+}
+
+// AblationCUFrontEnd compares the flat per-GPU request window against the
+// CU-sharded front-end (64 compute units with per-wavefront windows,
+// Section II-A): the scheme ordering is front-end-robust.
+func AblationCUFrontEnd(p Params) (*Table, error) {
+	cus := func(inner func(*config.Config)) func(*config.Config) {
+		return func(c *config.Config) {
+			inner(c)
+			c.CUsPerGPU = 64
+			// Per-CU windows: keep total MLP comparable to the flat
+			// window by granting each CU a small wavefront budget.
+			c.OutstandingRequests = 192
+		}
+	}
+	schemes := []Scheme{
+		Private4x,
+		Ours4x,
+		{Name: "Private (CUs)", Mutate: cus(Private4x.Mutate)},
+		{Name: "Ours (CUs)", Mutate: cus(Ours4x.Mutate)},
+	}
+	all := append([]Scheme{Unsecure, {Name: "Unsecure (CUs)", Mutate: cus(Unsecure.Mutate)}}, schemes...)
+	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:       "Ablation A8",
+		Title:    "Scheme overheads with flat vs CU-sharded GPU front-ends (normalized to the matching unsecure system)",
+		RowLabel: "workload",
+	}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	for wi, spec := range specs {
+		flatBase := float64(grid[wi][0].Cycles)
+		cuBase := float64(grid[wi][1].Cycles)
+		t.Rows = append(t.Rows, Row{Label: spec.Abbr, Values: []float64{
+			float64(grid[wi][2].Cycles) / flatBase,
+			float64(grid[wi][3].Cycles) / flatBase,
+			float64(grid[wi][4].Cycles) / cuBase,
+			float64(grid[wi][5].Cycles) / cuBase,
+		}})
+	}
+	sortRows(t.Rows)
+	return t, nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns fast single-workload parameters for runner tests.
+func tiny() Params {
+	p := DefaultParams(0.02)
+	p.Workloads = []string{"mm"}
+	return p
+}
+
+func TestTable1MatchesPaperValues(t *testing.T) {
+	tab := Table1()
+	cases := []struct {
+		row, col string
+		want     float64
+	}{
+		{"4", "1x KB", 2.75},
+		{"4", "1x OTPs", 32},
+		{"16", "4x KB", 176.25},
+		{"32", "16x KB", 2820},
+		{"32", "16x OTPs", 32768},
+	}
+	for _, c := range cases {
+		got, ok := tab.Value(c.row, c.col)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", c.row, c.col)
+		}
+		if math.Abs(got-c.want) > 0.011 {
+			t.Errorf("Table I [%s][%s] = %v, want %v", c.row, c.col, got, c.want)
+		}
+	}
+}
+
+func TestTable4ListsAllWorkloads(t *testing.T) {
+	tab := Table4()
+	if len(tab.Rows) != 17 {
+		t.Fatalf("Table IV rows=%d, want 17", len(tab.Rows))
+	}
+	// High-RPKI workloads must model denser request streams than low-RPKI.
+	hi, _ := tab.Value("syr2k", "density")
+	lo, _ := tab.Value("fir", "density")
+	if hi <= lo {
+		t.Errorf("density(syr2k)=%v <= density(fir)=%v", hi, lo)
+	}
+}
+
+func TestNamedSchemeLabels(t *testing.T) {
+	if Private4x.Name != "Private (OTP 4x)" {
+		t.Errorf("name=%q", Private4x.Name)
+	}
+	if !strings.Contains(Ours4x.Name, "Dynamic+Batching") {
+		t.Errorf("name=%q", Ours4x.Name)
+	}
+}
+
+func TestFig21Runner(t *testing.T) {
+	tab, err := Fig21(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 5 {
+		t.Fatalf("columns=%v", tab.Columns)
+	}
+	v, ok := tab.Value("mm", "Private (OTP 4x)")
+	if !ok || v <= 0 {
+		t.Fatalf("missing Private value: %v %v", v, ok)
+	}
+	mean := tab.MeanRow()
+	if len(mean.Values) != 5 {
+		t.Fatalf("mean=%v", mean)
+	}
+}
+
+func TestFig10DistributionsSumToOne(t *testing.T) {
+	tab, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		send := row.Values[0] + row.Values[1] + row.Values[2]
+		recv := row.Values[3] + row.Values[4] + row.Values[5]
+		if math.Abs(send-1) > 1e-9 || math.Abs(recv-1) > 1e-9 {
+			t.Errorf("%s fractions sum to %v/%v, want 1/1", row.Label, send, recv)
+		}
+	}
+}
+
+func TestFig12TrafficBreakdownConsistent(t *testing.T) {
+	tab, err := Fig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := tab.Value("mm", "Private (OTP 4x)")
+	data, _ := tab.Value("mm", "data")
+	mp, _ := tab.Value("mm", "mem-prot")
+	meta, _ := tab.Value("mm", "sec-meta")
+	if math.Abs(total-(data+mp+meta)) > 1e-6 {
+		t.Errorf("breakdown %v+%v+%v != total %v", data, mp, meta, total)
+	}
+	if total <= 1 {
+		t.Errorf("secure traffic ratio %v, want > 1", total)
+	}
+}
+
+func TestFig13And14Series(t *testing.T) {
+	for _, fn := range []func(Params) (*Table, error){Fig13, Fig14} {
+		tab, err := fn(tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s has no intervals", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			var sum float64
+			for _, v := range row.Values {
+				sum += v
+			}
+			if sum != 0 && math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s interval %s sums to %v", tab.ID, row.Label, sum)
+			}
+		}
+	}
+}
+
+func TestFig15BucketsMatchPaperLabels(t *testing.T) {
+	tab, err := Fig15(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"[0, 40)", "[40, 160)", "[160, 640)", "[640, inf)"}
+	if len(tab.Columns) != len(want) {
+		t.Fatalf("columns=%v", tab.Columns)
+	}
+	for i := range want {
+		if tab.Columns[i] != want[i] {
+			t.Errorf("column %d = %q, want %q", i, tab.Columns[i], want[i])
+		}
+	}
+}
+
+func TestFig26RowsAreLatencies(t *testing.T) {
+	p := tiny()
+	tab, err := Fig26(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []string{"10", "20", "30", "40"}
+	if len(tab.Rows) != len(wantRows) {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		if r.Label != wantRows[i] {
+			t.Errorf("row %d label=%q, want %q", i, r.Label, wantRows[i])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "t", RowLabel: "w",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "r1", Values: []float64{1, 2}}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "X: t") || !strings.Contains(s, "avg") {
+		t.Errorf("render missing pieces:\n%s", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "w,a,b\n") || !strings.Contains(csv, "r1,1.000000,2.000000") {
+		t.Errorf("csv:\n%s", csv)
+	}
+	if _, ok := tab.Value("r1", "nope"); ok {
+		t.Error("bogus column resolved")
+	}
+	if _, ok := tab.Value("nope", "a"); ok {
+		t.Error("bogus row resolved")
+	}
+	if v, ok := tab.Value("avg", "b"); !ok || v != 2 {
+		t.Errorf("avg value=%v ok=%v", v, ok)
+	}
+}
+
+func TestMeanRowSkipsNaN(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"a"},
+		Rows: []Row{
+			{Label: "x", Values: []float64{2}},
+			{Label: "y", Values: []float64{math.NaN()}},
+			{Label: "z", Values: []float64{4}},
+		},
+	}
+	if got := tab.MeanRow().Values[0]; got != 3 {
+		t.Errorf("mean=%v, want 3 (NaN skipped)", got)
+	}
+}
+
+func TestParamsUnknownWorkload(t *testing.T) {
+	p := tiny()
+	p.Workloads = []string{"bogus"}
+	if _, err := Fig21(p); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestAblationDecomposition(t *testing.T) {
+	tab, err := AblationDecomposition(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 4 {
+		t.Fatalf("columns=%v", tab.Columns)
+	}
+	if !strings.Contains(tab.Columns[2], "Batching") {
+		t.Errorf("columns=%v, want a Private+Batching variant", tab.Columns)
+	}
+}

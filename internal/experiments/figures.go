@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/workload"
+)
+
+// normalizedExecTable runs the given schemes plus the unsecure baseline on
+// every workload and reports execution time normalized to unsecure — the
+// format of Figures 8, 9, 21, 24, 25, and 26.
+func normalizedExecTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
+	all := append([]Scheme{Unsecure}, schemes...)
+	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title, RowLabel: "workload"}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	for wi, spec := range specs {
+		base := float64(grid[wi][0].Cycles)
+		row := Row{Label: spec.Abbr}
+		for si := range schemes {
+			row.Values = append(row.Values, float64(grid[wi][si+1].Cycles)/base)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	sortRows(t.Rows)
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: Private's slowdown in a 4-GPU system as the
+// per-pair OTP buffer allocation grows from 1x to 16x.
+func Fig8(p Params) (*Table, error) {
+	var schemes []Scheme
+	for _, mult := range []int{1, 2, 4, 8, 16} {
+		schemes = append(schemes, NamedScheme(config.OTPPrivate, mult, false))
+	}
+	return normalizedExecTable("Figure 8",
+		"Performance impact of OTP buffer entries with Private (normalized to unsecure)",
+		p, schemes)
+}
+
+// Fig9 reproduces Figure 9: the prior Private/Shared/Cached schemes at
+// iso-storage OTP 4x.
+func Fig9(p Params) (*Table, error) {
+	return normalizedExecTable("Figure 9",
+		"Performance overhead by secure communication with OTP 4x (normalized to unsecure)",
+		p, []Scheme{Private4x, Shared4x, Cached4x})
+}
+
+// otpDistTable renders merged hit/partial/miss fractions per scheme and
+// direction — the format of Figures 10 and 22.
+func otpDistTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
+	grid, _, err := runGrid(p, schemes, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: id, Title: title, RowLabel: "scheme",
+		Columns: []string{
+			"send_hit", "send_partial", "send_miss",
+			"recv_hit", "recv_partial", "recv_miss",
+		},
+	}
+	for si, sch := range schemes {
+		var merged otp.Stats
+		for wi := range grid {
+			merged.Merge(&grid[wi][si].OTP)
+		}
+		t.Rows = append(t.Rows, Row{Label: sch.Name, Values: []float64{
+			merged.Fraction(otp.Send, otp.Hit),
+			merged.Fraction(otp.Send, otp.Partial),
+			merged.Fraction(otp.Send, otp.Miss),
+			merged.Fraction(otp.Recv, otp.Hit),
+			merged.Fraction(otp.Recv, otp.Partial),
+			merged.Fraction(otp.Recv, otp.Miss),
+		}})
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: OTP latency-hiding distribution for the prior
+// schemes in the 4-GPU system.
+func Fig10(p Params) (*Table, error) {
+	return otpDistTable("Figure 10",
+		"Distribution of OTP latency hiding (Private/Shared/Cached, OTP 4x)",
+		p, []Scheme{Private4x, Shared4x, Cached4x})
+}
+
+// Fig11 reproduces Figure 11: cumulative overheads of Private 4x — secure
+// communication latency alone, then with security-metadata bandwidth.
+func Fig11(p Params) (*Table, error) {
+	latencyOnly := Scheme{Name: "+SecureCommu", Mutate: func(c *config.Config) {
+		Private4x.Mutate(c)
+		c.MetadataTraffic = false
+	}}
+	full := Scheme{Name: "+Traffic", Mutate: Private4x.Mutate}
+	return normalizedExecTable("Figure 11",
+		"Execution time with secure communication and metadata considered cumulatively (Private OTP 4x)",
+		p, []Scheme{latencyOnly, full})
+}
+
+// Fig12 reproduces Figure 12: interconnect traffic of the secure system
+// relative to the unsecure baseline, split into data, CPU-memory-protection
+// metadata, and communication-security metadata.
+func Fig12(p Params) (*Table, error) {
+	return trafficTable("Figure 12",
+		"Communication traffic normalized to the unsecure system (Private OTP 4x)",
+		p, []Scheme{Private4x})
+}
+
+// trafficTable reports, per workload, each scheme's total traffic ratio and
+// the final scheme's breakdown columns.
+func trafficTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
+	all := append([]Scheme{Unsecure}, schemes...)
+	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title, RowLabel: "workload"}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	last := len(schemes)
+	t.Columns = append(t.Columns, "data", "mem-prot", "sec-meta")
+	for wi, spec := range specs {
+		base := float64(grid[wi][0].Traffic.TotalBytes())
+		row := Row{Label: spec.Abbr}
+		for si := range schemes {
+			row.Values = append(row.Values, float64(grid[wi][si+1].Traffic.TotalBytes())/base)
+		}
+		lt := grid[wi][last].Traffic
+		row.Values = append(row.Values,
+			float64(lt.BaseBytes)/base,
+			float64(lt.MemProtBytes)/base,
+			float64(lt.MetaBytes)/base,
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	sortRows(t.Rows)
+	t.Note = "breakdown columns decompose the last scheme's traffic"
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: the send/receive request mix on GPU 1 over
+// the execution of matrix multiplication.
+func Fig13(p Params) (*Table, error) {
+	return commSeries("Figure 13", p, false)
+}
+
+// Fig14 reproduces Figure 14: GPU 1's request destinations over the
+// execution of matrix multiplication.
+func Fig14(p Params) (*Table, error) {
+	return commSeries("Figure 14", p, true)
+}
+
+func commSeries(id string, p Params, byDest bool) (*Table, error) {
+	spec, err := workload.ByAbbr("mm")
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.baseConfig()
+	// A short flush period keeps enough intervals even for scaled-down
+	// runs; the figure plots fractions, so the absolute period only sets
+	// the plot's resolution.
+	res, err := runOne(spec, cfg, machine.RunOptions{TraceComms: true, TraceInterval: 2000})
+	if err != nil {
+		return nil, err
+	}
+	var series = res.SendRecvSeries[0]
+	title := "Distribution of send/receive requests on GPU 1 (matrixmultiplication)"
+	if byDest {
+		series = res.DestSeries[0]
+		title = "Distribution of GPU 1 request destinations (matrixmultiplication)"
+	}
+	t := &Table{ID: id, Title: title, RowLabel: "interval", Columns: series.Lanes()}
+	for i, row := range series.FractionRows() {
+		r := Row{Label: fmt.Sprintf("%d", i)}
+		r.Values = append(r.Values, row...)
+		t.Rows = append(t.Rows, r)
+	}
+	if byDest {
+		// Drop GPU 1's own (always-zero) lane label confusion by noting it.
+		t.Note = "lane GPU1 is the requester itself and stays zero"
+	}
+	return t, nil
+}
+
+// burstTable renders the Figures 15-16 interval distributions.
+func burstTable(id, title string, p Params, use32 bool) (*Table, error) {
+	grid, specs, err := runGrid(p, []Scheme{Unsecure}, machine.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title, RowLabel: "workload"}
+	for wi, spec := range specs {
+		h := grid[wi][0].Burst16
+		if use32 {
+			h = grid[wi][0].Burst32
+		}
+		if len(t.Columns) == 0 {
+			for b := 0; b < h.NumBuckets(); b++ {
+				t.Columns = append(t.Columns, h.BucketLabel(b))
+			}
+		}
+		row := Row{Label: spec.Abbr}
+		for b := 0; b < h.NumBuckets(); b++ {
+			row.Values = append(row.Values, h.Fraction(b))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	sortRows(t.Rows)
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: time for 16 data blocks to gather per pair.
+func Fig15(p Params) (*Table, error) {
+	return burstTable("Figure 15",
+		"Ratios of time intervals until 16 data blocks accumulate", p, false)
+}
+
+// Fig16 reproduces Figure 16: time for 32 data blocks to gather per pair.
+func Fig16(p Params) (*Table, error) {
+	return burstTable("Figure 16",
+		"Ratios of time intervals until 32 data blocks accumulate", p, true)
+}
+
+// Fig21 reproduces Figure 21, the headline 4-GPU comparison: Private 4x and
+// 16x, Cached 4x, the Dynamic contribution, and Dynamic+Batching.
+func Fig21(p Params) (*Table, error) {
+	return normalizedExecTable("Figure 21",
+		"Execution times with 4 GPUs normalized to the unsecure system",
+		p, []Scheme{Private4x, Private16x, Cached4x, Dynamic4x, Ours4x})
+}
+
+// Fig22 reproduces Figure 22: OTP latency-hiding distribution including the
+// proposed scheme.
+func Fig22(p Params) (*Table, error) {
+	return otpDistTable("Figure 22",
+		"Distribution of OTP latency hiding (Private/Cached/Ours, OTP 4x)",
+		p, []Scheme{Private4x, Cached4x, Ours4x})
+}
+
+// Fig23 reproduces Figure 23: communication traffic of Private, Cached, and
+// Ours relative to the unsecure system.
+func Fig23(p Params) (*Table, error) {
+	return trafficTable("Figure 23",
+		"Communication traffic normalized to the unsecure system (OTP 4x)",
+		p, []Scheme{Private4x, Cached4x, Ours4x})
+}
+
+// Fig24 reproduces Figure 24 (8 GPUs); Fig25 reproduces Figure 25 (16
+// GPUs): Private, Cached, and Ours at larger system sizes.
+func Fig24(p Params) (*Table, error) {
+	p.GPUs = 8
+	return normalizedExecTable("Figure 24",
+		"Execution times with 8 GPUs normalized to the unsecure system",
+		p, []Scheme{Private4x, Cached4x, Ours4x})
+}
+
+// Fig25 is the 16-GPU variant of Fig24.
+func Fig25(p Params) (*Table, error) {
+	p.GPUs = 16
+	return normalizedExecTable("Figure 25",
+		"Execution times with 16 GPUs normalized to the unsecure system",
+		p, []Scheme{Private4x, Cached4x, Ours4x})
+}
+
+// Fig26 reproduces Figure 26: sensitivity of Private, Cached, and Ours to
+// the AES-GCM latency (10-40 cycles). Rows are latencies; columns are the
+// schemes' average normalized execution times.
+func Fig26(p Params) (*Table, error) {
+	schemes := []Scheme{Private4x, Cached4x, Ours4x}
+	t := &Table{
+		ID:       "Figure 26",
+		Title:    "Average execution time under varied AES-GCM latency (normalized to unsecure)",
+		RowLabel: "aes-lat",
+	}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	for _, lat := range []uint64{10, 20, 30, 40} {
+		lat := lat
+		var latSchemes []Scheme
+		for _, sch := range schemes {
+			inner := sch.Mutate
+			latSchemes = append(latSchemes, Scheme{Name: sch.Name, Mutate: func(c *config.Config) {
+				inner(c)
+				c.AESGCMLatency = lat
+			}})
+		}
+		sub, err := normalizedExecTable("", "", p, latSchemes)
+		if err != nil {
+			return nil, err
+		}
+		mean := sub.MeanRow()
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d", lat), Values: mean.Values})
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table I analytically: OTP storage and entry counts for
+// the Private scheme across system sizes and multipliers.
+func Table1() *Table {
+	t := &Table{
+		ID:       "Table I",
+		Title:    "On-chip storage (KB) and total OTP entries in the Private scheme",
+		RowLabel: "gpus",
+		Columns:  []string{"1x KB", "1x OTPs", "2x KB", "2x OTPs", "4x KB", "4x OTPs", "8x KB", "8x OTPs", "16x KB", "16x OTPs"},
+	}
+	for _, gpus := range []int{4, 8, 16, 32} {
+		row := Row{Label: fmt.Sprintf("%d", gpus)}
+		for _, mult := range []int{1, 2, 4, 8, 16} {
+			c := config.Default(gpus)
+			c.OTPMultiplier = mult
+			row.Values = append(row.Values, c.OTPStorageKB(), float64(c.TotalOTPEntries()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table4 reproduces Table IV: the evaluated workloads and their RPKI
+// classes, with the modelled remote-request density (ops per kilocycle of
+// compute gap) as the class proxy.
+func Table4() *Table {
+	t := &Table{
+		ID:       "Table IV",
+		Title:    "Evaluated benchmarks by RPKI class (density = remote ops per kilocycle of compute)",
+		RowLabel: "workload",
+		Columns:  []string{"class(0=H,1=M,2=L)", "ops_per_gpu", "density"},
+	}
+	for _, s := range workload.Registry() {
+		ops := s.Trace(1, 4, 0.05, 1)
+		var gaps uint64
+		for _, op := range ops {
+			gaps += uint64(op.Gap)
+		}
+		density := float64(len(ops)) / (float64(gaps)/1000 + 1)
+		t.Rows = append(t.Rows, Row{
+			Label:  s.Abbr,
+			Values: []float64{float64(s.Class), float64(s.OpsPerGPU), density},
+		})
+	}
+	sortRows(t.Rows)
+	return t
+}

@@ -1,0 +1,153 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmgpu/internal/sim"
+	"secmgpu/internal/workload"
+)
+
+func mkOps(n int, gap uint32) []workload.Op {
+	ops := make([]workload.Op, n)
+	for i := range ops {
+		ops[i] = workload.Op{Gap: gap, Kind: workload.Read, Home: 0, Page: uint32(i), Block: uint8(i % 64)}
+	}
+	return ops
+}
+
+func TestRoundRobinAcrossCUs(t *testing.T) {
+	f := New(mkOps(8, 0), 4, 2)
+	var cus []int
+	for i := 0; i < 8; i++ {
+		_, cu, ok, _ := f.NextReady(0)
+		if !ok {
+			t.Fatalf("issue %d blocked", i)
+		}
+		f.OnIssue(cu, 0)
+		cus = append(cus, cu)
+	}
+	// 8 ops over 4 CUs with window 2: every CU issues exactly twice.
+	counts := map[int]int{}
+	for _, c := range cus {
+		counts[c]++
+	}
+	for cu, n := range counts {
+		if n != 2 {
+			t.Errorf("CU %d issued %d, want 2 (order %v)", cu, n, cus)
+		}
+	}
+}
+
+func TestPerCUWindowBounds(t *testing.T) {
+	f := New(mkOps(10, 0), 2, 1)
+	// Two CUs with window 1: only two ops can be in flight.
+	for i := 0; i < 2; i++ {
+		_, cu, ok, _ := f.NextReady(0)
+		if !ok {
+			t.Fatalf("issue %d blocked", i)
+		}
+		f.OnIssue(cu, 0)
+	}
+	if _, _, ok, wake := f.NextReady(0); ok || wake != sim.MaxCycle {
+		t.Fatalf("third issue allowed with full windows (wake=%d)", wake)
+	}
+	f.OnComplete(0)
+	if _, cu, ok, _ := f.NextReady(0); !ok || cu != 0 {
+		t.Fatalf("completion did not free CU 0's slot")
+	}
+}
+
+func TestEligibilityWake(t *testing.T) {
+	ops := mkOps(4, 100) // every op 100 cycles after the previous issue
+	f := New(ops, 1, 8)
+	if _, _, ok, wake := f.NextReady(0); ok || wake != 100 {
+		t.Fatalf("op eligible too early (wake=%d, want 100)", wake)
+	}
+	_, cu, ok, _ := f.NextReady(100)
+	if !ok {
+		t.Fatal("op not eligible at its gap")
+	}
+	f.OnIssue(cu, 100)
+	if _, _, ok, wake := f.NextReady(150); ok || wake != 200 {
+		t.Fatalf("second op gating wrong (wake=%d, want 200)", wake)
+	}
+}
+
+func TestDoneTracking(t *testing.T) {
+	f := New(mkOps(3, 0), 2, 4)
+	if f.Done() {
+		t.Fatal("done before starting")
+	}
+	for i := 0; i < 3; i++ {
+		_, cu, ok, _ := f.NextReady(0)
+		if !ok {
+			t.Fatal("blocked")
+		}
+		f.OnIssue(cu, 0)
+		f.OnComplete(cu)
+	}
+	if !f.Done() || f.Remaining() != 0 || f.InFlight() != 0 {
+		t.Fatalf("done=%v remaining=%d inflight=%d", f.Done(), f.Remaining(), f.InFlight())
+	}
+	if _, _, ok, _ := f.NextReady(0); ok {
+		t.Fatal("issued past the trace")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cus":    func() { New(mkOps(1, 0), 0, 1) },
+		"zero window": func() { New(mkOps(1, 0), 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMoreCUsThanOps(t *testing.T) {
+	f := New(mkOps(2, 0), 64, 4)
+	if f.NumCUs() != 2 {
+		t.Errorf("CUs=%d, want clamped to 2", f.NumCUs())
+	}
+}
+
+// Property: every op issues exactly once and completes exactly once, for
+// any CU count, window, and completion order.
+func TestConservationProperty(t *testing.T) {
+	prop := func(nOps, nCUs, win uint8, seed int64) bool {
+		n := int(nOps%50) + 1
+		cus := int(nCUs%8) + 1
+		w := int(win%4) + 1
+		f := New(mkOps(n, 0), cus, w)
+		rng := rand.New(rand.NewSource(seed))
+		type inflight struct{ cu int }
+		var pending []inflight
+		issued := 0
+		for !f.Done() {
+			if _, cu, ok, _ := f.NextReady(0); ok {
+				f.OnIssue(cu, 0)
+				issued++
+				pending = append(pending, inflight{cu})
+				continue
+			}
+			if len(pending) == 0 {
+				return false // deadlock
+			}
+			i := rng.Intn(len(pending))
+			f.OnComplete(pending[i].cu)
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+		return issued == n && f.InFlight() == len(pending)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(15))}); err != nil {
+		t.Fatal(err)
+	}
+}

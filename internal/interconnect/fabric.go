@@ -1,0 +1,275 @@
+package interconnect
+
+import (
+	"fmt"
+	"math"
+
+	"secmgpu/internal/sim"
+)
+
+// Deliverer receives messages that arrive at a node.
+type Deliverer interface {
+	// Deliver is called when msg fully arrives at its destination.
+	Deliver(now sim.Cycle, msg *Message)
+}
+
+// DelivererFunc adapts a function to the Deliverer interface.
+type DelivererFunc func(now sim.Cycle, msg *Message)
+
+// Deliver calls f.
+func (f DelivererFunc) Deliver(now sim.Cycle, msg *Message) { f(now, msg) }
+
+// stage is a FIFO, work-conserving serialization point (a NIC or a wire
+// direction): each message occupies it for overhead + size/bandwidth
+// cycles. The fixed overhead models packetization/flit framing, which makes
+// message count — not just bytes — consume fabric capacity; eliminating
+// per-block ACK and MsgMAC packets is how metadata batching buys bandwidth
+// back.
+type stage struct {
+	bandwidth float64   // bytes per cycle
+	overhead  sim.Cycle // fixed per-message occupancy
+	nextFree  sim.Cycle
+	busy      sim.Cycle // total occupied cycles, for utilization reporting
+}
+
+// pass serializes size bytes starting no earlier than at, returning the
+// cycle the last byte leaves the stage.
+func (s *stage) pass(at sim.Cycle, size int) sim.Cycle {
+	start := at
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	tx := s.overhead + sim.Cycle(math.Ceil(float64(size)/s.bandwidth))
+	if tx == 0 {
+		tx = 1
+	}
+	s.nextFree = start + tx
+	s.busy += tx
+	return s.nextFree
+}
+
+// Fabric is the full interconnect: a shared PCIe bus stage at the CPU, a
+// NIC stage per GPU, and a duplex wire per node pair. Message timing is
+// resolved eagerly at send time, which is exact for FIFO work-conserving
+// stages because sends are processed in simulation-time order.
+type Fabric struct {
+	engine *sim.Engine
+	nodes  int
+
+	// nicIn/nicOut are per-node aggregate injection/ejection stages.
+	nicOut []stage
+	nicIn  []stage
+	// wires[src][dst] is the directed wire stage from src to dst.
+	wires [][]stage
+	// latency[src][dst] is the propagation latency of the src->dst path.
+	latency [][]sim.Cycle
+
+	deliverers []Deliverer
+
+	// Switch topology state (nil slices in p2p mode).
+	topology  Topology
+	uplinks   []stage
+	downlinks []stage
+	crossbar  stage
+	switchHop sim.Cycle
+
+	stats Stats
+}
+
+// Topology selects how GPUs reach each other.
+type Topology int
+
+const (
+	// TopologyP2P wires every GPU pair directly (DGX-1 style).
+	TopologyP2P Topology = iota
+	// TopologySwitch routes all GPU-GPU traffic through a central switch
+	// (DGX-2 / NVSwitch style): each GPU has one uplink and one downlink
+	// at NVLink bandwidth, and the switch itself has an aggregate
+	// crossbar bandwidth.
+	TopologySwitch
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	if t == TopologySwitch {
+		return "switch"
+	}
+	return "p2p"
+}
+
+// FabricConfig sizes the fabric.
+type FabricConfig struct {
+	// NumGPUs is the GPU count; node 0 is the CPU.
+	NumGPUs int
+	// PCIeBandwidth is the shared CPU bus bandwidth in bytes/cycle.
+	PCIeBandwidth float64
+	// NVLinkBandwidth is the per-pair GPU-GPU wire bandwidth.
+	NVLinkBandwidth float64
+	// GPUNICBandwidth is each GPU's aggregate injection/ejection
+	// bandwidth across all of its links.
+	GPUNICBandwidth float64
+	// PCIeLatency and NVLinkLatency are one-way propagation latencies.
+	PCIeLatency   sim.Cycle
+	NVLinkLatency sim.Cycle
+	// MsgOverhead is the fixed per-message NIC occupancy in cycles
+	// (packetization/flit framing).
+	MsgOverhead sim.Cycle
+	// Topology selects p2p (default) or switch routing for GPU-GPU
+	// traffic.
+	Topology Topology
+	// SwitchBandwidth is the crossbar's aggregate bandwidth in
+	// bytes/cycle (switch topology only; default 8x NVLink).
+	SwitchBandwidth float64
+	// SwitchLatency is the extra hop latency through the switch.
+	SwitchLatency sim.Cycle
+}
+
+// NewFabric builds the fabric for cfg. Deliverers must be registered for
+// every node before messages are sent to it.
+func NewFabric(engine *sim.Engine, cfg FabricConfig) *Fabric {
+	if cfg.NumGPUs < 1 {
+		panic("interconnect: need at least one GPU")
+	}
+	if cfg.PCIeBandwidth <= 0 || cfg.NVLinkBandwidth <= 0 || cfg.GPUNICBandwidth <= 0 {
+		panic("interconnect: bandwidths must be positive")
+	}
+	n := cfg.NumGPUs + 1
+	f := &Fabric{
+		engine:     engine,
+		nodes:      n,
+		nicOut:     make([]stage, n),
+		nicIn:      make([]stage, n),
+		deliverers: make([]Deliverer, n),
+		topology:   cfg.Topology,
+		stats:      newStats(n),
+	}
+	if cfg.Topology == TopologySwitch {
+		if cfg.SwitchBandwidth <= 0 {
+			cfg.SwitchBandwidth = 8 * cfg.NVLinkBandwidth
+		}
+		if cfg.SwitchLatency == 0 {
+			cfg.SwitchLatency = 30
+		}
+		f.switchHop = cfg.SwitchLatency
+		f.crossbar = stage{bandwidth: cfg.SwitchBandwidth}
+		f.uplinks = make([]stage, n)
+		f.downlinks = make([]stage, n)
+		for i := range f.uplinks {
+			f.uplinks[i] = stage{bandwidth: cfg.NVLinkBandwidth}
+			f.downlinks[i] = stage{bandwidth: cfg.NVLinkBandwidth}
+		}
+	}
+	for i := 0; i < n; i++ {
+		bw := cfg.GPUNICBandwidth
+		if NodeID(i).IsCPU() {
+			bw = cfg.PCIeBandwidth
+		}
+		f.nicOut[i] = stage{bandwidth: bw, overhead: cfg.MsgOverhead}
+		f.nicIn[i] = stage{bandwidth: bw, overhead: cfg.MsgOverhead}
+	}
+	f.wires = make([][]stage, n)
+	f.latency = make([][]sim.Cycle, n)
+	for s := 0; s < n; s++ {
+		f.wires[s] = make([]stage, n)
+		f.latency[s] = make([]sim.Cycle, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if NodeID(s).IsCPU() || NodeID(d).IsCPU() {
+				f.wires[s][d] = stage{bandwidth: cfg.PCIeBandwidth}
+				f.latency[s][d] = cfg.PCIeLatency
+			} else {
+				f.wires[s][d] = stage{bandwidth: cfg.NVLinkBandwidth}
+				f.latency[s][d] = cfg.NVLinkLatency
+			}
+		}
+	}
+	return f
+}
+
+// Register installs the deliverer for a node.
+func (f *Fabric) Register(node NodeID, d Deliverer) {
+	f.deliverers[node] = d
+}
+
+// NumNodes returns the processor count including the CPU.
+func (f *Fabric) NumNodes() int { return f.nodes }
+
+// Send injects msg at the current cycle. The arrival event is scheduled
+// after sender-NIC serialization, wire serialization, propagation latency,
+// and receiver-NIC serialization.
+func (f *Fabric) Send(msg *Message) {
+	if msg.Src == msg.Dst {
+		panic(fmt.Sprintf("interconnect: self-send on node %v", msg.Src))
+	}
+	if int(msg.Src) >= f.nodes || int(msg.Dst) >= f.nodes || msg.Src < 0 || msg.Dst < 0 {
+		panic(fmt.Sprintf("interconnect: send %v->%v outside %d-node fabric", msg.Src, msg.Dst, f.nodes))
+	}
+	if f.deliverers[msg.Dst] == nil {
+		panic(fmt.Sprintf("interconnect: no deliverer registered for %v", msg.Dst))
+	}
+	f.stats.record(msg)
+
+	now := f.engine.Now()
+	size := msg.Size()
+	t := f.nicOut[msg.Src].pass(now, size)
+	if f.topology == TopologySwitch && !msg.Src.IsCPU() && !msg.Dst.IsCPU() {
+		// GPU-GPU traffic rides the per-GPU uplink, crosses the shared
+		// crossbar, and exits on the destination's downlink.
+		t = f.uplinks[msg.Src].pass(t, size)
+		t = f.crossbar.pass(t, size)
+		t += f.switchHop + f.latency[msg.Src][msg.Dst]
+		t = f.downlinks[msg.Dst].pass(t, size)
+	} else {
+		t = f.wires[msg.Src][msg.Dst].pass(t, size)
+		t += f.latency[msg.Src][msg.Dst]
+	}
+	t = f.nicIn[msg.Dst].pass(t, size)
+
+	f.engine.Schedule(t, sim.HandlerFunc(func(sim.Event) {
+		f.deliverers[msg.Dst].Deliver(f.engine.Now(), msg)
+	}), nil)
+}
+
+// Stats returns the accumulated traffic statistics.
+func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// Stats aggregates fabric traffic. BaseBytes is traffic the unsecure
+// baseline would also carry; MetaBytes is everything added by protection.
+type Stats struct {
+	Messages      uint64
+	BaseBytes     uint64
+	MetaBytes     uint64
+	MemProtBytes  uint64
+	ByCategory    [numCategories]uint64
+	perNodeSent   []uint64
+	perNodeRecved []uint64
+}
+
+func newStats(nodes int) Stats {
+	return Stats{
+		perNodeSent:   make([]uint64, nodes),
+		perNodeRecved: make([]uint64, nodes),
+	}
+}
+
+func (s *Stats) record(msg *Message) {
+	s.Messages++
+	s.BaseBytes += uint64(msg.BaseBytes)
+	s.MetaBytes += uint64(msg.MetaBytes)
+	s.MemProtBytes += uint64(msg.MemProtBytes)
+	s.ByCategory[msg.Category] += uint64(msg.BaseBytes + msg.MetaBytes)
+	s.ByCategory[CatMemProt] += uint64(msg.MemProtBytes)
+	s.perNodeSent[msg.Src] += uint64(msg.Size())
+	s.perNodeRecved[msg.Dst] += uint64(msg.Size())
+}
+
+// TotalBytes is all traffic carried by the fabric.
+func (s *Stats) TotalBytes() uint64 { return s.BaseBytes + s.MetaBytes + s.MemProtBytes }
+
+// NodeSentBytes returns bytes injected by the node.
+func (s *Stats) NodeSentBytes(n NodeID) uint64 { return s.perNodeSent[n] }
+
+// NodeReceivedBytes returns bytes ejected at the node.
+func (s *Stats) NodeReceivedBytes(n NodeID) uint64 { return s.perNodeRecved[n] }

@@ -1,0 +1,177 @@
+// Package interconnect models the off-chip fabric of the secure multi-GPU
+// system: the shared PCIe bus between the CPU and the GPUs and the
+// NVLink-like point-to-point GPU-GPU links (Figure 2 and Table III of the
+// paper). It provides latency+bandwidth link models with per-stage
+// serialization (sender NIC, wire, receiver NIC) and the byte accounting
+// behind the paper's traffic results (Figures 11, 12, and 23).
+package interconnect
+
+import "fmt"
+
+// NodeID identifies a processor on the fabric. The CPU is node 0 and GPUs
+// are numbered from 1, matching the paper's "CPU and 3 GPUs" peer counting.
+type NodeID int
+
+// CPUNode is the host CPU's fabric identity.
+const CPUNode NodeID = 0
+
+// IsCPU reports whether the node is the host CPU.
+func (n NodeID) IsCPU() bool { return n == CPUNode }
+
+// String names the node as the paper does ("CPU", "GPU1", ...).
+func (n NodeID) String() string {
+	if n.IsCPU() {
+		return "CPU"
+	}
+	return fmt.Sprintf("GPU%d", int(n))
+}
+
+// Category classifies a message's bytes for traffic accounting.
+type Category int
+
+const (
+	// CatData covers messages that exist in the unsecure baseline: block
+	// read requests/responses, write requests, and page-migration chunks.
+	CatData Category = iota
+	// CatControl covers baseline control messages (write completions,
+	// migration control).
+	CatControl
+	// CatSecACK covers the replay-protection acknowledgments that exist
+	// only in the secure system.
+	CatSecACK
+	// CatBatchMAC covers standalone Batched_MsgMAC messages produced by
+	// the metadata batching mechanism.
+	CatBatchMAC
+	// CatMemProt covers CPU-side memory-protection metadata traffic
+	// (counters/MACs for the untrusted host DRAM).
+	CatMemProt
+
+	numCategories
+)
+
+// String returns the accounting label for the category.
+func (c Category) String() string {
+	switch c {
+	case CatData:
+		return "data"
+	case CatControl:
+		return "control"
+	case CatSecACK:
+		return "sec-ack"
+	case CatBatchMAC:
+		return "batch-mac"
+	case CatMemProt:
+		return "mem-prot"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Kind enumerates the protocol-level message types carried by the fabric.
+type Kind int
+
+const (
+	// KindReadReq asks a remote home node for one 64B block.
+	KindReadReq Kind = iota
+	// KindDataResp carries one 64B block back to the requester.
+	KindDataResp
+	// KindWriteReq carries one 64B block of write data to the home node.
+	KindWriteReq
+	// KindWriteAck confirms a write at the home node.
+	KindWriteAck
+	// KindMigrChunk carries one 64B chunk of a migrating page.
+	KindMigrChunk
+	// KindMigrReq asks a page's owner to migrate it to the requester.
+	KindMigrReq
+	// KindMigrDone signals that every chunk of a migration was sent.
+	KindMigrDone
+	// KindSecACK is the replay-protection acknowledgment echoing a
+	// MsgMAC/MsgCTR back to the data sender.
+	KindSecACK
+	// KindBatchMAC carries a Batched_MsgMAC covering n data blocks.
+	KindBatchMAC
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindReadReq:
+		return "read-req"
+	case KindDataResp:
+		return "data-resp"
+	case KindWriteReq:
+		return "write-req"
+	case KindWriteAck:
+		return "write-ack"
+	case KindMigrChunk:
+		return "migr-chunk"
+	case KindMigrReq:
+		return "migr-req"
+	case KindMigrDone:
+		return "migr-done"
+	case KindSecACK:
+		return "sec-ack"
+	case KindBatchMAC:
+		return "batch-mac"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is one packet on the fabric. BaseBytes are the bytes the unsecure
+// baseline would also send; MetaBytes are added by the protection mechanism
+// (inline MsgCTR/MsgMAC/sender ID, whole ACK and Batched_MsgMAC packets, and
+// memory-protection metadata). Splitting the two is what lets the traffic
+// experiments report "extra traffic from security" exactly.
+type Message struct {
+	Kind     Kind
+	Category Category
+	Src, Dst NodeID
+
+	// BaseBytes + MetaBytes + MemProtBytes is the wire size used for
+	// serialization. MemProtBytes carries CPU-side memory-protection
+	// metadata piggybacked on the message (accounted under CatMemProt
+	// even when inline).
+	BaseBytes    int
+	MetaBytes    int
+	MemProtBytes int
+
+	// ReqID correlates responses and ACKs with the originating operation.
+	ReqID uint64
+	// Addr is the block address the message concerns, if any.
+	Addr uint64
+
+	// Sec carries the security envelope (counter, MAC, batch info). It is
+	// nil on unsecured messages.
+	Sec *SecEnvelope
+}
+
+// Size returns the total wire size in bytes.
+func (m *Message) Size() int { return m.BaseBytes + m.MetaBytes + m.MemProtBytes }
+
+// SecEnvelope is the security metadata travelling with a protected message
+// (Section II-C: MsgCTR, MsgMAC, sender ID; Section IV-C: batch fields).
+type SecEnvelope struct {
+	// MsgCTR is the counter-mode message counter used to derive the OTP.
+	MsgCTR uint64
+	// MAC is the (possibly truncated) message authentication code.
+	MAC [8]byte
+	// SenderID travels with the ciphertext for pad derivation.
+	SenderID NodeID
+
+	// BatchClass selects the batching stream: 0 for direct block access
+	// (n=16), 1 for page migration (n=64). The two streams keep separate
+	// MsgMAC storages, matching the paper's max(16, 64) sizing.
+	BatchClass int
+	// BatchID groups the blocks covered by one Batched_MsgMAC.
+	BatchID uint64
+	// BatchIndex is this block's position within its batch.
+	BatchIndex int
+	// BatchLen is the batch length, carried on the first request of each
+	// batch (the paper's 1B length field); zero elsewhere.
+	BatchLen int
+
+	// Ciphertext is the encrypted payload when functional encryption is
+	// enabled; nil in pure timing runs.
+	Ciphertext []byte
+}

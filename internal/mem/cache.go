@@ -1,0 +1,133 @@
+// Package mem provides the memory-side substrate of each processor: a
+// set-associative LRU cache model (the shared L2 of Table III) and DRAM
+// latency models for GPU HBM and host DRAM. The machine layer uses them to
+// time how quickly a home node can serve remote block requests.
+package mem
+
+import (
+	"fmt"
+
+	"secmgpu/internal/sim"
+)
+
+// Cache is a set-associative cache with LRU replacement, modelling tag
+// state only: it answers hit/miss and maintains recency, which is all the
+// timing model needs.
+type Cache struct {
+	sets      int
+	ways      int
+	blockSize int
+
+	tags [][]uint64
+	// age[set][way] is the last access stamp for LRU.
+	age   [][]uint64
+	valid [][]bool
+	clock uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache of capacityBytes with the given associativity and
+// block size. Capacity must divide evenly into sets.
+func NewCache(capacityBytes, ways, blockSize int) *Cache {
+	if capacityBytes <= 0 || ways <= 0 || blockSize <= 0 {
+		panic("mem: cache parameters must be positive")
+	}
+	blocks := capacityBytes / blockSize
+	if blocks == 0 || blocks%ways != 0 {
+		panic(fmt.Sprintf("mem: capacity %dB / block %dB not divisible into %d ways", capacityBytes, blockSize, ways))
+	}
+	sets := blocks / ways
+	c := &Cache{sets: sets, ways: ways, blockSize: blockSize}
+	c.tags = make([][]uint64, sets)
+	c.age = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.age[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+	}
+	return c
+}
+
+// Access looks up addr, allocating it on a miss (evicting the LRU way) and
+// reporting whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	block := addr / uint64(c.blockSize)
+	set := int(block % uint64(c.sets))
+	tag := block / uint64(c.sets)
+	lru, lruAge := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.age[set][w] = c.clock
+			c.hits++
+			return true
+		}
+		if !c.valid[set][w] {
+			lru, lruAge = w, 0
+		} else if c.age[set][w] < lruAge {
+			lru, lruAge = w, c.age[set][w]
+		}
+	}
+	c.misses++
+	c.valid[set][lru] = true
+	c.tags[set][lru] = tag
+	c.age[set][lru] = c.clock
+	return false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits / accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Sets returns the number of sets, for tests.
+func (c *Cache) Sets() int { return c.sets }
+
+// Memory times block service at a home node: an L2 lookup in front of DRAM.
+type Memory struct {
+	l2          *Cache
+	l2Latency   sim.Cycle
+	dramLatency sim.Cycle
+}
+
+// NewMemory builds the home-node memory path. l2 may be nil to model a
+// DRAM-only path.
+func NewMemory(l2 *Cache, l2Latency, dramLatency sim.Cycle) *Memory {
+	return &Memory{l2: l2, l2Latency: l2Latency, dramLatency: dramLatency}
+}
+
+// ServiceLatency returns the cycles needed to produce the block at addr.
+func (m *Memory) ServiceLatency(addr uint64) sim.Cycle {
+	if m.l2 == nil {
+		return m.dramLatency
+	}
+	if m.l2.Access(addr) {
+		return m.l2Latency
+	}
+	return m.l2Latency + m.dramLatency
+}
+
+// HBM returns the GPU-side memory path of Table III: a 2MB 16-way shared L2
+// in front of stacked HBM.
+func HBM(blockSize int) *Memory {
+	return NewMemory(NewCache(2<<20, 16, blockSize), 40, 160)
+}
+
+// HostDRAM returns the CPU-side memory path: a larger LLC in front of
+// slower DDR.
+func HostDRAM(blockSize int) *Memory {
+	return NewMemory(NewCache(8<<20, 16, blockSize), 50, 220)
+}

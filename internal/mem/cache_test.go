@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 16 blocks, 8 sets, 2 ways
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("second access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets, 2 ways
+	// Three blocks mapping to set 0: block numbers 0, 8, 16.
+	c.Access(0 * 64)
+	c.Access(8 * 64)
+	c.Access(0 * 64)  // touch 0: now 8 is LRU
+	c.Access(16 * 64) // evicts 8
+	if !c.Access(0 * 64) {
+		t.Error("block 0 evicted despite being MRU")
+	}
+	if c.Access(8 * 64) {
+		t.Error("block 8 still resident despite LRU eviction")
+	}
+}
+
+func TestCacheDistinctSetsDoNotConflict(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	for b := uint64(0); b < 8; b++ {
+		c.Access(b * 64)
+	}
+	for b := uint64(0); b < 8; b++ {
+		if !c.Access(b * 64) {
+			t.Errorf("block %d missed; one block per set should all fit", b)
+		}
+	}
+}
+
+func TestCacheBadParamsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacity": func() { NewCache(0, 2, 64) },
+		"ragged ways":   func() { NewCache(1024, 7, 64) },
+		"zero block":    func() { NewCache(1024, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	if c.HitRate() != 0 {
+		t.Error("hit rate before accesses should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(64)
+	if got := c.HitRate(); got < 0.33 || got > 0.34 {
+		t.Errorf("hit rate=%v, want 1/3", got)
+	}
+}
+
+// Property: a working set no larger than one set's ways never misses after
+// the first touch, for any access order.
+func TestCacheSmallWorkingSetProperty(t *testing.T) {
+	prop := func(order []uint8) bool {
+		c := NewCache(4096, 4, 64) // 16 sets, 4 ways
+		// Working set: 4 blocks all in set 3.
+		base := uint64(3 * 64)
+		stride := uint64(16 * 64)
+		seen := map[uint64]bool{}
+		for _, o := range order {
+			addr := base + uint64(o%4)*stride
+			hit := c.Access(addr)
+			if seen[addr] && !hit {
+				return false
+			}
+			seen[addr] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryServiceLatency(t *testing.T) {
+	m := NewMemory(NewCache(1024, 2, 64), 40, 160)
+	if got := m.ServiceLatency(0); got != 200 {
+		t.Errorf("cold service=%d, want 200 (L2 miss + DRAM)", got)
+	}
+	if got := m.ServiceLatency(0); got != 40 {
+		t.Errorf("warm service=%d, want 40 (L2 hit)", got)
+	}
+}
+
+func TestMemoryNilL2(t *testing.T) {
+	m := NewMemory(nil, 40, 160)
+	if got := m.ServiceLatency(123); got != 160 {
+		t.Errorf("DRAM-only service=%d, want 160", got)
+	}
+}
+
+func TestHBMAndHostPresets(t *testing.T) {
+	h := HBM(64)
+	d := HostDRAM(64)
+	if h.ServiceLatency(0) != 200 {
+		t.Errorf("HBM cold=%d, want 200", h.ServiceLatency(0))
+	}
+	if d.ServiceLatency(0) != 270 {
+		t.Errorf("host cold=%d, want 270", d.ServiceLatency(0))
+	}
+}

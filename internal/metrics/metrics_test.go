@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("value=%d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset value=%d, want 0", c.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(40, 160, 640)
+	// One sample per region: [0,40) [40,160) [160,640) [640,inf).
+	for _, v := range []uint64{0, 39, 40, 159, 160, 639, 640, 10000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Errorf("bucket %d (%s) = %d, want %d", i, h.BucketLabel(i), h.Bucket(i), w)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total=%d, want 8", h.Total())
+	}
+	if got := h.Fraction(0); got != 0.25 {
+		t.Errorf("fraction(0)=%v, want 0.25", got)
+	}
+	if got := h.CumulativeFractionBelow(160); got != 0.5 {
+		t.Errorf("cumulative below 160 = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h := NewHistogram(40, 160)
+	cases := []struct {
+		i    int
+		want string
+	}{{0, "[0, 40)"}, {1, "[40, 160)"}, {2, "[160, inf)"}}
+	for _, c := range cases {
+		if got := h.BucketLabel(c.i); got != c.want {
+			t.Errorf("label(%d)=%q, want %q", c.i, got, c.want)
+		}
+	}
+	if s := h.String(); !strings.Contains(s, "[40, 160)") {
+		t.Errorf("String()=%q missing bucket label", s)
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewHistogram() },
+		"descending": func() { NewHistogram(10, 5) },
+		"duplicate":  func() { NewHistogram(10, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: bucket counts always sum to the number of observations, and
+// fractions sum to 1 for any non-empty sample set.
+func TestHistogramConservationProperty(t *testing.T) {
+	prop := func(samples []uint16) bool {
+		h := NewHistogram(10, 100, 1000)
+		for _, s := range samples {
+			h.Observe(uint64(s))
+		}
+		var sum uint64
+		var frac float64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+			frac += h.Fraction(i)
+		}
+		if sum != uint64(len(samples)) {
+			return false
+		}
+		if len(samples) > 0 && (frac < 0.999 || frac > 1.001) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("send", "recv")
+	s.Add(0, 3)
+	s.Add(1, 1)
+	s.Flush()
+	s.Add(1, 5)
+	s.Flush()
+	s.Flush() // empty interval
+
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d, want 3", len(rows))
+	}
+	if rows[0][0] != 3 || rows[0][1] != 1 || rows[1][1] != 5 {
+		t.Fatalf("rows=%v", rows)
+	}
+	fr := s.FractionRows()
+	if fr[0][0] != 0.75 || fr[0][1] != 0.25 {
+		t.Errorf("fractions row0=%v, want [0.75 0.25]", fr[0])
+	}
+	if fr[1][0] != 0 || fr[1][1] != 1 {
+		t.Errorf("fractions row1=%v, want [0 1]", fr[1])
+	}
+	if fr[2][0] != 0 || fr[2][1] != 0 {
+		t.Errorf("fractions row2=%v, want zeros", fr[2])
+	}
+	if len(s.Lanes()) != 2 || s.Lanes()[0] != "send" {
+		t.Errorf("lanes=%v", s.Lanes())
+	}
+}
+
+func TestSeriesEmptyLanesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty lanes did not panic")
+		}
+	}()
+	NewSeries()
+}

@@ -1,0 +1,96 @@
+// Package migration implements the unified-memory page layer: page
+// ownership, the access-counter page-migration policy (the Volta-like
+// policy of Table III), and TLB-shootdown cost accounting. The machine
+// layer consults it on every remote access to choose between direct block
+// access and page migration (Section II-A).
+package migration
+
+import "fmt"
+
+// PageID identifies a 4KB page in the unified address space.
+type PageID uint64
+
+// Node mirrors interconnect.NodeID without importing it; 0 is the CPU.
+type Node int
+
+// Policy tracks page ownership and per-(page, accessor) counters.
+type Policy struct {
+	threshold int
+	// owner maps migrated pages to their current owner; pages absent
+	// from the map live at their home node (encoded in the address).
+	owner map[PageID]Node
+	// counters counts accesses since last migration, keyed by page and
+	// accessor.
+	counters map[pageAccessor]int
+
+	migrations uint64
+}
+
+type pageAccessor struct {
+	page PageID
+	node Node
+}
+
+// NewPolicy builds an access-counter migration policy. threshold <= 0
+// disables migration entirely (pure direct block access).
+func NewPolicy(threshold int) *Policy {
+	return &Policy{
+		threshold: threshold,
+		owner:     make(map[PageID]Node),
+		counters:  make(map[pageAccessor]int),
+	}
+}
+
+// Owner returns the page's current owner given its home node.
+func (p *Policy) Owner(page PageID, home Node) Node {
+	if o, ok := p.owner[page]; ok {
+		return o
+	}
+	return home
+}
+
+// RecordAccess notes one access by node to a page currently owned by owner
+// and reports whether the access-counter policy says the page should now
+// migrate to the accessor. Local accesses reset nothing and never migrate.
+func (p *Policy) RecordAccess(page PageID, accessor, owner Node) (migrate bool) {
+	if accessor == owner || p.threshold <= 0 {
+		return false
+	}
+	key := pageAccessor{page, accessor}
+	p.counters[key]++
+	return p.counters[key] >= p.threshold
+}
+
+// Migrate transfers ownership of the page to the new owner, resetting its
+// counters. The caller is responsible for simulating the data movement and
+// shootdown cost.
+func (p *Policy) Migrate(page PageID, to Node, home Node) {
+	if to == home {
+		delete(p.owner, page)
+	} else {
+		p.owner[page] = to
+	}
+	for key := range p.counters {
+		if key.page == page {
+			delete(p.counters, key)
+		}
+	}
+	p.migrations++
+}
+
+// Migrations returns the number of migrations performed.
+func (p *Policy) Migrations() uint64 { return p.migrations }
+
+// Threshold returns the configured access-count threshold.
+func (p *Policy) Threshold() int { return p.threshold }
+
+// String summarizes the policy state.
+func (p *Policy) String() string {
+	return fmt.Sprintf("migration.Policy{threshold=%d, migrated=%d pages, total=%d migrations}",
+		p.threshold, len(p.owner), p.migrations)
+}
+
+// ShootdownCost is the TLB-shootdown stall in cycles charged to the
+// requesting GPU when a page migrates (driver work, invalidations). The
+// paper cites shootdowns as the key page-migration overhead.
+const ShootdownCost = 2000

@@ -1,0 +1,149 @@
+package otp
+
+import (
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+// Cached implements the hybrid scheme of Figure 7c: a fixed pool of pad
+// entries is allocated on demand to whichever (peer, direction) streams are
+// actually communicating, with least-recently-used streams losing entries to
+// active ones. A stream holding entries behaves like Private; a stream with
+// no entries generates pads on demand like Shared. The per-pair 64-bit
+// message counters are kept as persistent architectural state (the paper's
+// variant reuses a maximum counter instead; keeping the counters costs
+// 8 bytes per pair and preserves exact sender/receiver synchronization).
+type Cached struct {
+	capacity  int
+	allocated int
+	queues    [2][]padQueue
+	lastUse   [2][]sim.Cycle
+	touched   [2][]bool
+	burstLen  [2][]int
+	lastGrow  [2][]sim.Cycle
+	eng       *crypto.Engine
+	aesLat    sim.Cycle
+	stats     Stats
+}
+
+// NewCached builds a Cached manager with a pool of budget pad entries
+// (iso-storage with Private's peers x 2 x multiplier).
+func NewCached(peers, budget int, eng *crypto.Engine) *Cached {
+	if peers < 1 || budget < 2 {
+		panic("otp: Cached needs at least one peer and budget >= 2")
+	}
+	c := &Cached{capacity: budget, eng: eng, aesLat: eng.Latency}
+	for d := range c.queues {
+		c.queues[d] = make([]padQueue, peers)
+		c.lastUse[d] = make([]sim.Cycle, peers)
+		c.touched[d] = make([]bool, peers)
+		c.burstLen[d] = make([]int, peers)
+		c.lastGrow[d] = make([]sim.Cycle, peers)
+	}
+	// Seed the pool evenly, like the schemes' common cold start.
+	for d := range c.queues {
+		for i := range c.queues[d] {
+			depth := budget / (2 * peers)
+			if c.allocated+depth > budget {
+				depth = budget - c.allocated
+			}
+			c.allocated += depth
+			c.queues[d][i] = newPadQueue(depth, eng.Latency)
+		}
+	}
+	return c
+}
+
+// Name returns "Cached".
+func (c *Cached) Name() string { return "Cached" }
+
+func (c *Cached) use(now sim.Cycle, dir Direction, peer int, recvCtr uint64, isRecv bool) Use {
+	q := &c.queues[dir][peer]
+	if isRecv && q.nextCtr != recvCtr {
+		q.resync(recvCtr, now)
+	}
+	ctr, stall := q.use(now)
+	u := Use{Ctr: ctr, Stall: stall, Outcome: classify(stall, c.aesLat)}
+	c.stats.record(dir, u)
+
+	// Track the running burst length: uses spaced within one generation
+	// time belong to the same burst, and the burst length is the number
+	// of entries this stream wants cached.
+	if c.touched[dir][peer] && now-c.lastUse[dir][peer] <= c.aesLat {
+		c.burstLen[dir][peer]++
+	} else {
+		c.burstLen[dir][peer] = 1
+	}
+	c.lastUse[dir][peer] = now
+	c.touched[dir][peer] = true
+
+	// Adaptation: a stream whose active burst exceeds its allocation and
+	// actually stalls claims one more entry, from free capacity or from an
+	// idle stream. Growth is rate-limited per stream and capped at half
+	// the pool so the allocation cannot thrash under system-wide load.
+	canGrow := stall > 0 && c.burstLen[dir][peer] > q.depth &&
+		q.depth < c.capacity/2 &&
+		(c.lastGrow[dir][peer] == 0 || now-c.lastGrow[dir][peer] >= c.aesLat)
+	if canGrow {
+		if c.allocated < c.capacity {
+			c.allocated++
+			q.setDepth(q.depth+1, now+stall)
+			c.lastGrow[dir][peer] = now
+		} else if vd, vp, ok := c.victim(dir, peer, now); ok {
+			vq := &c.queues[vd][vp]
+			vq.setDepth(vq.depth-1, now)
+			q.setDepth(q.depth+1, now+stall)
+			c.lastGrow[dir][peer] = now
+		}
+	}
+	return u
+}
+
+// victim selects the least-recently-used stream holding at least one entry,
+// excluding the requester and any stream active within the idle window.
+func (c *Cached) victim(curDir Direction, curPeer int, now sim.Cycle) (Direction, int, bool) {
+	idleWindow := 4 * c.aesLat
+	bestDir, bestPeer := Direction(0), -1
+	var bestTime sim.Cycle
+	for d := range c.queues {
+		for p := range c.queues[d] {
+			if Direction(d) == curDir && p == curPeer {
+				continue
+			}
+			if c.queues[d][p].depth <= 2 {
+				// Leave every stream at least two entries: a nearly
+				// empty stream serializes on on-demand generation and
+				// becomes a stall bomb when its pair reactivates.
+				continue
+			}
+			if !c.touched[d][p] {
+				// Never-used streams are ideal victims.
+				return Direction(d), p, true
+			}
+			t := c.lastUse[d][p]
+			if t+idleWindow > now {
+				continue
+			}
+			if bestPeer == -1 || t < bestTime {
+				bestDir, bestPeer, bestTime = Direction(d), p, t
+			}
+		}
+	}
+	return bestDir, bestPeer, bestPeer != -1
+}
+
+// UseSend consumes the next send pad for peer, adapting the allocation.
+func (c *Cached) UseSend(now sim.Cycle, peer int) Use {
+	return c.use(now, Send, peer, 0, false)
+}
+
+// UseRecv consumes the receive pad for peer's counter ctr.
+func (c *Cached) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
+	return c.use(now, Recv, peer, ctr, true)
+}
+
+// Stats returns the accumulated outcome counts.
+func (c *Cached) Stats() *Stats { return &c.stats }
+
+// Allocated reports the pool entries currently assigned, for tests.
+func (c *Cached) Allocated() int { return c.allocated }

@@ -1,0 +1,258 @@
+// Package otp implements one-time-pad buffer management for secure
+// inter-processor communication: the pad lifecycle (pre-generation,
+// consumption, refill) and the three prior schemes the paper compares
+// against — Private, Shared, and Cached (Section II-C, Figure 7). The
+// paper's Dynamic scheme builds on this package from internal/core.
+//
+// Every pad use is classified the way the paper's Figures 10 and 22 report
+// latency hiding:
+//
+//   - Hit: the pad was ready before the message needed it; only the 1-cycle
+//     XOR remains on the critical path.
+//   - Partial: generation was in flight; part of the AES-GCM latency is
+//     exposed.
+//   - Miss: generation had not started (or the backlog exceeds a full
+//     generation); the entire latency is exposed.
+package otp
+
+import (
+	"fmt"
+	"sort"
+
+	"secmgpu/internal/sim"
+)
+
+// Direction distinguishes a processor's send and receive pad tables.
+type Direction int
+
+const (
+	// Send pads encrypt+authenticate outgoing data blocks.
+	Send Direction = iota
+	// Recv pads decrypt+verify incoming data blocks.
+	Recv
+)
+
+// String returns "send" or "recv".
+func (d Direction) String() string {
+	if d == Send {
+		return "send"
+	}
+	return "recv"
+}
+
+// Outcome classifies how much of the AES-GCM latency a pad use exposed.
+type Outcome int
+
+const (
+	// Hit means the authenticated en/decryption latency was fully hidden.
+	Hit Outcome = iota
+	// Partial means the latency was partially hidden.
+	Partial
+	// Miss means none of the latency was hidden.
+	Miss
+)
+
+// String returns the paper's label for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "OTP_Hit"
+	case Partial:
+		return "OTP_Partial"
+	case Miss:
+		return "OTP_Miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Use is the result of obtaining a pad for one message.
+type Use struct {
+	// Ctr is the message counter the pad corresponds to; it travels with
+	// the ciphertext as MsgCTR.
+	Ctr uint64
+	// Stall is the exposed latency in cycles (0 on a hit).
+	Stall sim.Cycle
+	// Outcome classifies the stall against the full AES-GCM latency.
+	Outcome Outcome
+}
+
+// Manager is one processor's OTP buffer management policy.
+type Manager interface {
+	// Name returns the paper's name for the scheme.
+	Name() string
+	// UseSend obtains the pad for sending a data block to peer,
+	// advancing the relevant counter.
+	UseSend(now sim.Cycle, peer int) Use
+	// UseRecv obtains the pad for a data block arriving from peer with
+	// message counter ctr.
+	UseRecv(now sim.Cycle, peer int, ctr uint64) Use
+	// Stats exposes the accumulated hit/partial/miss accounting.
+	Stats() *Stats
+}
+
+// Stats accumulates pad-use outcomes per direction, the raw material of the
+// paper's OTP-distribution figures.
+type Stats struct {
+	Counts [2][3]uint64
+	Stall  [2]uint64
+}
+
+func (s *Stats) record(dir Direction, u Use) {
+	s.Counts[dir][u.Outcome]++
+	s.Stall[dir] += uint64(u.Stall)
+}
+
+// Uses returns the total pad uses in a direction.
+func (s *Stats) Uses(dir Direction) uint64 {
+	var t uint64
+	for _, c := range s.Counts[dir] {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of uses in a direction with the given outcome.
+func (s *Stats) Fraction(dir Direction, o Outcome) float64 {
+	t := s.Uses(dir)
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Counts[dir][o]) / float64(t)
+}
+
+// HiddenFraction is the share of uses that were fully or partially hidden,
+// the headline metric of Figures 10 and 22.
+func (s *Stats) HiddenFraction(dir Direction) float64 {
+	return s.Fraction(dir, Hit) + s.Fraction(dir, Partial)
+}
+
+// Merge adds other's counts into s, for averaging across processors.
+func (s *Stats) Merge(other *Stats) {
+	for d := range s.Counts {
+		for o := range s.Counts[d] {
+			s.Counts[d][o] += other.Counts[d][o]
+		}
+		s.Stall[d] += other.Stall[d]
+	}
+}
+
+// classify maps a stall to the paper's outcome classes.
+func classify(stall, aesLatency sim.Cycle) Outcome {
+	switch {
+	case stall == 0:
+		return Hit
+	case stall < aesLatency:
+		return Partial
+	default:
+		return Miss
+	}
+}
+
+// padQueue models the pad entries of one counter stream as a ring of depth
+// physical slots. The pad for counter c lives in slot c mod depth; its
+// generation starts the moment the slot's previous occupant (counter
+// c-depth) is applied, and completes one AES-GCM latency later. This is the
+// storage-coupled pre-generation of the paper: a stream's sustained secure
+// throughput is capped at depth pads per AES latency, which is exactly why
+// OTP 1x collapses under bursts (Figure 8, 121% degradation), deeper
+// allocations recover, and re-partitioning the same total storage toward
+// hot streams (Dynamic) pays off.
+type padQueue struct {
+	nextCtr uint64
+	depth   int
+	lat     sim.Cycle
+	// slotFree[i] is the cycle slot i's previous pad was applied (and so
+	// the cycle the next generation into that slot starts). A fresh
+	// stream starts all generations at cycle 0.
+	slotFree []sim.Cycle
+	// regenFree serializes prediction-failure recoveries: rebuilding the
+	// slots after a resync occupies the stream's generation path for one
+	// full latency, so a stream that desynchronizes on every message is
+	// throttled to one message per AES latency.
+	regenFree sim.Cycle
+}
+
+func newPadQueue(depth int, lat sim.Cycle) padQueue {
+	n := depth
+	if n == 0 {
+		n = 1
+	}
+	return padQueue{depth: depth, lat: lat, slotFree: make([]sim.Cycle, n)}
+}
+
+// use consumes the pad for the next counter, returning the counter and the
+// exposed stall. The consumed slot starts regenerating at apply time.
+func (q *padQueue) use(now sim.Cycle) (ctr uint64, stall sim.Cycle) {
+	ctr = q.nextCtr
+	q.nextCtr++
+	ready := q.readyAt(ctr)
+	if ready > now {
+		stall = ready - now
+	}
+	q.recordApply(ctr, now+stall)
+	return ctr, stall
+}
+
+// readyAt returns the cycle counter c's pad is usable.
+func (q *padQueue) readyAt(c uint64) sim.Cycle {
+	if q.depth == 0 {
+		// A stream with no allocated entries generates each pad on
+		// demand through a single transient register.
+		return q.slotFree[0] + q.lat
+	}
+	return q.slotFree[c%uint64(q.depth)] + q.lat
+}
+
+func (q *padQueue) recordApply(c uint64, at sim.Cycle) {
+	if q.depth == 0 {
+		if at > q.slotFree[0] {
+			q.slotFree[0] = at
+		}
+		return
+	}
+	q.slotFree[c%uint64(q.depth)] = at
+}
+
+// setDepth re-partitions the stream to a new slot count at cycle at.
+// Existing entries keep their pads: shrinking retains the most-ready slots,
+// growth adds slots whose first generation starts at the adjustment time.
+func (q *padQueue) setDepth(depth int, at sim.Cycle) {
+	if depth == q.depth {
+		return
+	}
+	old := append([]sim.Cycle(nil), q.slotFree...)
+	sort.Slice(old, func(i, j int) bool { return old[i] < old[j] })
+	n := depth
+	if n == 0 {
+		n = 1
+	}
+	// Hand the most-ready surviving pads to the counters that will be
+	// consumed next: counter nextCtr+i maps to slot (nextCtr+i) mod n.
+	nf := make([]sim.Cycle, n)
+	for i := 0; i < n; i++ {
+		idx := (q.nextCtr + uint64(i)) % uint64(n)
+		if i < len(old) {
+			nf[idx] = old[i]
+		} else {
+			nf[idx] = at
+		}
+	}
+	q.depth = depth
+	q.slotFree = nf
+}
+
+// resync redirects the queue to an arbitrary counter (a receive-side
+// prediction failure): every buffered pad is for a wrong counter, so all
+// slots restart generation once the stream's recovery unit is free.
+func (q *padQueue) resync(ctr uint64, now sim.Cycle) {
+	q.nextCtr = ctr
+	start := now
+	if q.regenFree > start {
+		start = q.regenFree
+	}
+	for i := range q.slotFree {
+		q.slotFree[i] = start
+	}
+	q.regenFree = start + q.lat
+}

@@ -1,0 +1,393 @@
+package otp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+const aesLat = 40
+
+func TestClassifyBoundaries(t *testing.T) {
+	cases := []struct {
+		stall sim.Cycle
+		want  Outcome
+	}{{0, Hit}, {1, Partial}, {39, Partial}, {40, Miss}, {400, Miss}}
+	for _, c := range cases {
+		if got := classify(c.stall, aesLat); got != c.want {
+			t.Errorf("classify(%d)=%v, want %v", c.stall, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeAndDirectionStrings(t *testing.T) {
+	if Hit.String() != "OTP_Hit" || Partial.String() != "OTP_Partial" || Miss.String() != "OTP_Miss" {
+		t.Error("outcome strings do not match the paper's labels")
+	}
+	if Send.String() != "send" || Recv.String() != "recv" {
+		t.Error("direction strings wrong")
+	}
+}
+
+func TestPrivateWarmPadIsHit(t *testing.T) {
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	u := p.UseSend(1000, 2)
+	if u.Outcome != Hit || u.Stall != 0 {
+		t.Errorf("warm use = %+v, want hit with no stall", u)
+	}
+	if u.Ctr != 0 {
+		t.Errorf("first counter = %d, want 0", u.Ctr)
+	}
+}
+
+func TestPrivateColdStartIsPartial(t *testing.T) {
+	// Pads are issued at cycle 0; a use at cycle 10 sees generation in
+	// flight -> partially hidden.
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	u := p.UseSend(10, 0)
+	if u.Outcome != Partial {
+		t.Errorf("cold-start use = %+v, want partial", u)
+	}
+}
+
+func TestPrivateBurstDegrades(t *testing.T) {
+	// A same-cycle burst of 12 sends with only 4 pads: the first 4 hit;
+	// the rest only have refills triggered by this same burst, so none of
+	// their latency is hidden (misses).
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	var outcomes []Outcome
+	for i := 0; i < 12; i++ {
+		outcomes = append(outcomes, p.UseSend(1000, 1).Outcome)
+	}
+	for i := 0; i < 4; i++ {
+		if outcomes[i] != Hit {
+			t.Errorf("burst msg %d = %v, want hit", i, outcomes[i])
+		}
+	}
+	for i := 4; i < 12; i++ {
+		if outcomes[i] != Miss {
+			t.Errorf("burst msg %d = %v, want miss (refill started this cycle)", i, outcomes[i])
+		}
+	}
+}
+
+func TestPrivateSpacedBurstIsPartiallyHidden(t *testing.T) {
+	// Uses spaced by 10 cycles: the 5th use needs the refill issued by the
+	// 1st use 40 cycles earlier minus the spacing -> generation in flight,
+	// latency partially hidden.
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	// The refill for counter 4 is issued at cycle 1000 (triggered by the
+	// first use) and becomes ready near 1040; using it at 1020 exposes
+	// roughly half the latency.
+	times := []sim.Cycle{1000, 1005, 1010, 1015, 1020}
+	var last Use
+	for _, at := range times {
+		last = p.UseSend(at, 1)
+	}
+	if last.Outcome != Partial {
+		t.Errorf("spaced 5th use = %+v, want partial", last)
+	}
+	if last.Stall >= aesLat {
+		t.Errorf("stall=%d, want < full AES latency", last.Stall)
+	}
+}
+
+func TestPrivateCountersAdvancePerPeerIndependently(t *testing.T) {
+	p := NewPrivate(3, 2, crypto.NewEngine(aesLat))
+	a1 := p.UseSend(1000, 0)
+	b1 := p.UseSend(1000, 1)
+	a2 := p.UseSend(1000, 0)
+	if a1.Ctr != 0 || a2.Ctr != 1 {
+		t.Errorf("peer0 counters %d,%d, want 0,1", a1.Ctr, a2.Ctr)
+	}
+	if b1.Ctr != 0 {
+		t.Errorf("peer1 counter %d, want 0 (independent stream)", b1.Ctr)
+	}
+}
+
+func TestPrivateRecvInOrderHits(t *testing.T) {
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	for ctr := uint64(0); ctr < 4; ctr++ {
+		u := p.UseRecv(1000+sim.Cycle(ctr)*100, 1, ctr)
+		if u.Outcome != Hit {
+			t.Errorf("in-order recv ctr=%d outcome=%v, want hit", ctr, u.Outcome)
+		}
+	}
+}
+
+func TestPrivateRecvResyncOnGap(t *testing.T) {
+	p := NewPrivate(4, 4, crypto.NewEngine(aesLat))
+	p.UseRecv(1000, 1, 0)
+	u := p.UseRecv(2000, 1, 7) // counters 1-6 never arrive
+	if u.Outcome != Miss {
+		t.Errorf("desynced recv outcome=%v, want miss", u.Outcome)
+	}
+	// After resync, the stream re-predicts from 8.
+	u = p.UseRecv(3000, 1, 8)
+	if u.Outcome != Hit {
+		t.Errorf("post-resync recv outcome=%v, want hit", u.Outcome)
+	}
+}
+
+func TestPrivateStats(t *testing.T) {
+	p := NewPrivate(2, 1, crypto.NewEngine(aesLat))
+	p.UseSend(1000, 0)    // hit
+	p.UseSend(1000, 0)    // refill started this cycle -> miss
+	p.UseRecv(1000, 1, 0) // hit
+	st := p.Stats()
+	if st.Uses(Send) != 2 || st.Uses(Recv) != 1 {
+		t.Fatalf("uses send=%d recv=%d", st.Uses(Send), st.Uses(Recv))
+	}
+	if st.Counts[Send][Hit] != 1 || st.Counts[Send][Miss] != 1 {
+		t.Errorf("send counts=%v", st.Counts[Send])
+	}
+	if got := st.HiddenFraction(Send); got != 0.5 {
+		t.Errorf("send hidden fraction=%v, want 0.5", got)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	var a, b Stats
+	a.Counts[Send][Hit] = 3
+	b.Counts[Send][Hit] = 4
+	b.Counts[Recv][Miss] = 2
+	b.Stall[Recv] = 80
+	a.Merge(&b)
+	if a.Counts[Send][Hit] != 7 || a.Counts[Recv][Miss] != 2 || a.Stall[Recv] != 80 {
+		t.Errorf("merged stats=%+v", a)
+	}
+}
+
+func TestSharedSendStreamOverruns(t *testing.T) {
+	// The single (double-buffered) shared send entry serves every
+	// destination: the first warm pads hit, but any sustained burst
+	// overruns the stream and exposes the full latency (Figure 10's
+	// all-miss send side).
+	s := NewShared(4, 32, crypto.NewEngine(aesLat))
+	if u := s.UseSend(1000, 0); u.Outcome != Hit {
+		t.Errorf("first warm shared send=%v, want hit", u.Outcome)
+	}
+	var misses int
+	for i := 0; i < 16; i++ {
+		if s.UseSend(1001, i%4).Outcome == Miss {
+			misses++
+		}
+	}
+	if misses < 12 {
+		t.Errorf("burst misses=%d/16, want nearly all (2-entry shared send)", misses)
+	}
+}
+
+func TestSharedSendCounterIsGlobal(t *testing.T) {
+	s := NewShared(4, 32, crypto.NewEngine(aesLat))
+	u0 := s.UseSend(1000, 0)
+	u1 := s.UseSend(1000, 3)
+	if u0.Ctr != 0 || u1.Ctr != 1 {
+		t.Errorf("counters %d,%d across peers, want 0,1 from one stream", u0.Ctr, u1.Ctr)
+	}
+}
+
+func TestSharedRecvBackToBackHitsInterleavedMisses(t *testing.T) {
+	s := NewShared(4, 32, crypto.NewEngine(aesLat))
+	// Source sends back-to-back to us: counters 0,1,2 consecutive.
+	if u := s.UseRecv(1000, 1, 0); u.Outcome == Hit {
+		// First arrival may resync; don't require a hit here.
+		_ = u
+	}
+	if u := s.UseRecv(2000, 1, 1); u.Outcome != Hit {
+		t.Errorf("back-to-back recv=%v, want hit", u.Outcome)
+	}
+	// Source then interleaves sends elsewhere: counter jumps to 9.
+	if u := s.UseRecv(3000, 1, 9); u.Outcome != Miss {
+		t.Errorf("interleaved recv=%v, want miss", u.Outcome)
+	}
+}
+
+func TestSharedBudgetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny budget did not panic")
+		}
+	}()
+	NewShared(4, 3, crypto.NewEngine(aesLat))
+}
+
+func TestCachedAdaptsToBurstyPair(t *testing.T) {
+	eng := crypto.NewEngine(aesLat)
+	c := NewCached(4, 32, eng)
+	// Repeated same-cycle bursts of 8 to one pair: stalls make the stream
+	// grow its allocation past the even split of 4, so later bursts are
+	// fully hidden.
+	now := sim.Cycle(1000)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 8; i++ {
+			c.UseSend(now, 1)
+		}
+		now += 1000
+	}
+	if d := c.queues[Send][1].depth; d < 8 {
+		t.Errorf("hot stream depth=%d after bursty rounds, want >= 8", d)
+	}
+	var hidden int
+	for i := 0; i < 8; i++ {
+		if c.UseSend(now, 1).Outcome != Miss {
+			hidden++
+		}
+	}
+	if hidden < 6 {
+		t.Errorf("hidden=%d/8 after adaptation, want >= 6", hidden)
+	}
+	if c.Allocated() > 32 {
+		t.Fatalf("allocated=%d exceeds capacity", c.Allocated())
+	}
+}
+
+func TestCachedStealsFromIdleStreams(t *testing.T) {
+	eng := crypto.NewEngine(aesLat)
+	c := NewCached(2, 16, eng) // 2 peers x 2 dirs x depth 4 initially
+	// Saturate the pool on (Send, peer0) via repeated stalls.
+	now := sim.Cycle(100)
+	for i := 0; i < 400; i++ {
+		c.UseSend(now, 0)
+		now += 5
+	}
+	if c.Allocated() > 16 {
+		t.Fatalf("allocated=%d exceeds capacity 16", c.Allocated())
+	}
+	// The hot stream grows past its even-split seed by stealing from idle
+	// streams, which themselves never drop below the 2-entry floor.
+	if d := c.queues[Send][0].depth; d <= 4 {
+		t.Errorf("hot stream depth=%d, want growth past the seed of 4", d)
+	}
+	for dir := range c.queues {
+		for p := range c.queues[dir] {
+			if Direction(dir) == Send && p == 0 {
+				continue
+			}
+			if d := c.queues[dir][p].depth; d < 2 {
+				t.Errorf("victim stream [%d][%d] depth=%d below the 2-entry floor", dir, p, d)
+			}
+		}
+	}
+}
+
+func TestCachedRecvResync(t *testing.T) {
+	c := NewCached(4, 32, crypto.NewEngine(aesLat))
+	c.UseRecv(1000, 2, 0)
+	if u := c.UseRecv(1100, 2, 1); u.Outcome != Hit {
+		t.Errorf("in-order cached recv=%v, want hit", u.Outcome)
+	}
+	if u := c.UseRecv(1200, 2, 50); u.Outcome != Miss {
+		t.Errorf("desynced cached recv=%v, want miss", u.Outcome)
+	}
+}
+
+// Property: under any interleaving of sends, Cached never exceeds its
+// capacity and counters per peer remain strictly increasing.
+func TestCachedInvariantsProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		eng := crypto.NewEngine(aesLat)
+		c := NewCached(4, 16, eng)
+		now := sim.Cycle(0)
+		lastCtr := map[int]uint64{}
+		first := map[int]bool{}
+		for _, op := range ops {
+			peer := int(op % 4)
+			now += sim.Cycle(op % 7)
+			u := c.UseSend(now, peer)
+			if first[peer] && u.Ctr != lastCtr[peer]+1 {
+				return false
+			}
+			lastCtr[peer] = u.Ctr
+			first[peer] = true
+			total := 0
+			for d := range c.queues {
+				for p := range c.queues[d] {
+					total += c.queues[d][p].depth
+				}
+			}
+			if total != c.Allocated() || total > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Private counters are dense and per-stream monotone under any
+// mix of peers, and every use's outcome matches its stall classification.
+func TestPrivateCounterDensityProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		p := NewPrivate(4, 2, crypto.NewEngine(aesLat))
+		next := make([]uint64, 4)
+		now := sim.Cycle(0)
+		for _, op := range ops {
+			peer := int(op % 4)
+			now += sim.Cycle(op % 5)
+			u := p.UseSend(now, peer)
+			if u.Ctr != next[peer] {
+				return false
+			}
+			next[peer]++
+			if classify(u.Stall, aesLat) != u.Outcome {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagersImplementInterface(t *testing.T) {
+	eng := crypto.NewEngine(aesLat)
+	for _, m := range []Manager{
+		NewPrivate(4, 4, eng),
+		NewShared(4, 32, eng),
+		NewCached(4, 32, eng),
+	} {
+		if m.Name() == "" {
+			t.Error("empty scheme name")
+		}
+		if m.Stats() == nil {
+			t.Error("nil stats")
+		}
+	}
+}
+
+func TestOracleAlwaysHits(t *testing.T) {
+	o := NewOracle(4)
+	for i := 0; i < 100; i++ {
+		if u := o.UseSend(sim.Cycle(i), i%4); u.Outcome != Hit || u.Stall != 0 {
+			t.Fatalf("oracle send %d = %+v", i, u)
+		}
+		if u := o.UseRecv(sim.Cycle(i), i%4, uint64(i)); u.Outcome != Hit {
+			t.Fatalf("oracle recv %d = %+v", i, u)
+		}
+	}
+	if o.Stats().Uses(Send) != 100 || o.Stats().HiddenFraction(Send) != 1 {
+		t.Error("oracle stats wrong")
+	}
+	// Counters still advance per peer so receivers stay in sync.
+	u1 := o.UseSend(0, 2)
+	u2 := o.UseSend(0, 2)
+	if u2.Ctr != u1.Ctr+1 {
+		t.Errorf("oracle counters %d,%d", u1.Ctr, u2.Ctr)
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero peers did not panic")
+		}
+	}()
+	NewOracle(0)
+}

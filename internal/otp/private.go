@@ -1,0 +1,63 @@
+package otp
+
+import (
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+// Private implements the per-pair scheme of Figure 7a: every
+// (peer, direction) has its own message counter and its own fixed allocation
+// of pad entries (the paper's "OTP Nx" multiplier). Counters stay perfectly
+// synchronized between sender and receiver, so receive-side pads are always
+// for the right counter; the cost is storage that grows quadratically with
+// the processor count (Table I).
+type Private struct {
+	queues [2][]padQueue
+	eng    *crypto.Engine
+	aesLat sim.Cycle
+	stats  Stats
+}
+
+// NewPrivate builds a Private manager for a processor with the given peer
+// count and per-pair entry multiplier, pre-generating all pads at cycle 0.
+func NewPrivate(peers, multiplier int, eng *crypto.Engine) *Private {
+	if peers < 1 || multiplier < 1 {
+		panic("otp: Private needs at least one peer and a positive multiplier")
+	}
+	p := &Private{eng: eng, aesLat: eng.Latency}
+	for d := range p.queues {
+		p.queues[d] = make([]padQueue, peers)
+		for i := range p.queues[d] {
+			p.queues[d][i] = newPadQueue(multiplier, eng.Latency)
+		}
+	}
+	return p
+}
+
+// Name returns "Private".
+func (p *Private) Name() string { return "Private" }
+
+// UseSend consumes the next send pad for peer.
+func (p *Private) UseSend(now sim.Cycle, peer int) Use {
+	ctr, stall := p.queues[Send][peer].use(now)
+	u := Use{Ctr: ctr, Stall: stall, Outcome: classify(stall, p.aesLat)}
+	p.stats.record(Send, u)
+	return u
+}
+
+// UseRecv consumes the receive pad for peer's message counter ctr. Private
+// counters never desynchronize under in-order delivery, but resync is still
+// handled defensively.
+func (p *Private) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
+	q := &p.queues[Recv][peer]
+	if q.nextCtr != ctr {
+		q.resync(ctr, now)
+	}
+	got, stall := q.use(now)
+	u := Use{Ctr: got, Stall: stall, Outcome: classify(stall, p.aesLat)}
+	p.stats.record(Recv, u)
+	return u
+}
+
+// Stats returns the accumulated outcome counts.
+func (p *Private) Stats() *Stats { return &p.stats }

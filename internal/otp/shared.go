@@ -1,0 +1,81 @@
+package otp
+
+import (
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+// Shared implements the storage-minimal scheme of Figure 7b: the processor
+// keeps a single send counter used for every destination (the pad seed omits
+// the receiver ID), plus per-source receive predictors. The send stream is
+// trivially pre-generatable — its counters are consumed strictly
+// sequentially — so half the budget forms one deep send queue. The damage
+// is on the receive side: because the sender's counter advances globally, a
+// receiver can only have the right pad ready when the sender transmits
+// back-to-back to it; any interleaving desynchronizes the prediction and
+// exposes the full AES-GCM latency — the behaviour behind the paper's
+// 166.3% average degradation.
+type Shared struct {
+	send   padQueue
+	recv   []padQueue
+	eng    *crypto.Engine
+	aesLat sim.Cycle
+	stats  Stats
+}
+
+// NewShared builds a Shared manager. budget is the total pad-entry budget
+// (iso-storage with Private): one entry serves the send direction and the
+// remainder is split across per-peer receive predictors.
+func NewShared(peers, budget int, eng *crypto.Engine) *Shared {
+	if peers < 1 || budget < peers+1 {
+		panic("otp: Shared needs budget >= peers+1")
+	}
+	s := &Shared{eng: eng, aesLat: eng.Latency, recv: make([]padQueue, peers)}
+	// The send direction holds a double-buffered single entry (the paper:
+	// "1 buffer for sending data blocks to all processors"): the one
+	// shared counter stream must carry the node's entire send traffic, so
+	// any sustained load overruns it -- the all-miss send behaviour of
+	// Figure 10 and the bulk of Shared's 166% degradation.
+	sendDepth := 2
+	if sendDepth < 1 {
+		sendDepth = 1
+	}
+	s.send = newPadQueue(sendDepth, eng.Latency)
+	perPeer := (budget - sendDepth) / peers
+	if perPeer < 1 {
+		perPeer = 1
+	}
+	for i := range s.recv {
+		s.recv[i] = newPadQueue(perPeer, eng.Latency)
+	}
+	return s
+}
+
+// Name returns "Shared".
+func (s *Shared) Name() string { return "Shared" }
+
+// UseSend consumes the single shared send counter; the destination is
+// irrelevant to the pad.
+func (s *Shared) UseSend(now sim.Cycle, _ int) Use {
+	ctr, stall := s.send.use(now)
+	u := Use{Ctr: ctr, Stall: stall, Outcome: classify(stall, s.aesLat)}
+	s.stats.record(Send, u)
+	return u
+}
+
+// UseRecv consumes the predictor for peer. The prediction holds only if the
+// arriving counter is exactly the next one this source was expected to use
+// toward us (i.e. the source sent back-to-back to this processor).
+func (s *Shared) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
+	q := &s.recv[peer]
+	if q.nextCtr != ctr {
+		q.resync(ctr, now)
+	}
+	got, stall := q.use(now)
+	u := Use{Ctr: got, Stall: stall, Outcome: classify(stall, s.aesLat)}
+	s.stats.record(Recv, u)
+	return u
+}
+
+// Stats returns the accumulated outcome counts.
+func (s *Shared) Stats() *Stats { return &s.stats }

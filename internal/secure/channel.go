@@ -1,0 +1,487 @@
+// Package secure implements each processor's secure-communication endpoint:
+// the layer between the node's protocol logic and the interconnect that
+// performs counter-mode authenticated encryption with pre-generated OTPs,
+// attaches/validates security metadata, enforces replay protection via
+// acknowledgments, and (when enabled) batches metadata per Section IV-C.
+//
+// The endpoint is also where the paper's three overhead sources are
+// realized: OTP stalls delay message injection and delivery, inline
+// metadata widens every data message, and ACK/Batched_MsgMAC packets add
+// messages of their own.
+package secure
+
+import (
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/core"
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/interconnect"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/sim"
+)
+
+// Wire sizes in bytes. The data path matches the paper's accounting: each
+// protected 64B transfer carries MsgCTR (8B), MsgMAC (8B) and sender ID
+// (1B), and triggers an ACK echoing the MAC; batching replaces per-block
+// MACs and ACKs with one Batched_MsgMAC message and one ACK per batch, plus
+// a 1B batch-length field on the first block.
+const (
+	// HeaderBytes is the routing/protocol header on every message.
+	HeaderBytes = 10
+	// ReadReqBytes is a block read request (header + address/size).
+	ReadReqBytes = 16
+	// DataBytes is a data-bearing message: header + one 64B block.
+	DataBytes = HeaderBytes + 64
+	// CtrlBytes is a small control message (write ack, migration done).
+	CtrlBytes = HeaderBytes
+	// InlineMetaConv is the per-block metadata without batching:
+	// MsgCTR 8B + MsgMAC 8B + sender ID 1B.
+	InlineMetaConv = 17
+	// InlineMetaBatch is the per-block metadata with batching:
+	// MsgCTR 8B + sender ID 1B (the MAC moves to the Batched_MsgMAC).
+	InlineMetaBatch = 9
+	// BatchLenByte is the batch-length field on a batch's first block.
+	BatchLenByte = 1
+	// ACKBytes is a replay-protection acknowledgment: header + 8B echo.
+	ACKBytes = HeaderBytes + 8
+	// BatchMACBytes is a Batched_MsgMAC message: header + 8B MAC + 2B
+	// batch id/length.
+	BatchMACBytes = HeaderBytes + 8 + 2
+	// MemProtBytes is the CPU-memory-protection metadata (counter + MAC)
+	// accompanying data homed in untrusted host DRAM.
+	MemProtBytes = 16
+	// PageBlocks is the number of 64B blocks in a 4KB migrating page;
+	// migration chunks batch at this granularity (one Batched_MsgMAC and
+	// one ACK per page, Section IV-C).
+	PageBlocks = 64
+)
+
+// SessionKey is the key exchanged between all processors at boot
+// (Section IV-A). A fixed key keeps simulations reproducible.
+var SessionKey = []byte("secmgpu-session!")
+
+// Handler is the node logic above the endpoint.
+type Handler interface {
+	// HandleData receives a (decrypted) data-bearing message.
+	HandleData(now sim.Cycle, msg *interconnect.Message)
+	// HandleControl receives an unprotected control message.
+	HandleControl(now sim.Cycle, msg *interconnect.Message)
+}
+
+// Options configures an endpoint from the system config.
+type Options struct {
+	Secure           bool
+	Batching         bool
+	MetadataTraffic  bool
+	CPUMemProtection bool
+	BatchSize        int
+	BatchTimeout     sim.Cycle
+	// Functional enables real encryption and MAC verification.
+	Functional bool
+}
+
+// OptionsFrom derives endpoint options from the system configuration.
+func OptionsFrom(c config.Config, functional bool) Options {
+	return Options{
+		Secure:           c.Secure,
+		Batching:         c.Secure && c.Batching,
+		MetadataTraffic:  c.MetadataTraffic,
+		CPUMemProtection: c.CPUMemProtection,
+		BatchSize:        c.BatchSize,
+		BatchTimeout:     sim.Cycle(c.BatchFlushTimeout),
+		Functional:       functional,
+	}
+}
+
+// Stats aggregates endpoint-level security accounting.
+type Stats struct {
+	DataSent, DataReceived   uint64
+	ACKsSent, ACKsReceived   uint64
+	BatchMACsSent            uint64
+	BatchesVerified          uint64
+	BatchesFailed            uint64
+	TimeoutFlushes           uint64
+	DecryptOK, DecryptFailed uint64
+	ReplaysDropped           uint64
+	PendingACKPeak           int
+}
+
+// Endpoint is one processor's secure channel termination.
+type Endpoint struct {
+	engine  *sim.Engine
+	fabric  *interconnect.Fabric
+	node    interconnect.NodeID
+	opts    Options
+	handler Handler
+
+	mgr otp.Manager
+	gen *crypto.PadGenerator
+
+	// Batching state, indexed [class][peer]: class 0 is direct block
+	// access (n = BatchSize), class 1 is page migration (n = page blocks).
+	batchers  [2][]*core.Batcher
+	macStores [2][]*core.MACStore
+
+	// lastSendAt enforces per-peer FIFO injection: a later data block
+	// whose pad happened to be ready sooner still queues behind earlier
+	// blocks of the same channel.
+	lastSendAt []sim.Cycle
+
+	// Receiver-side replay guard: on an in-order channel the per-peer
+	// message counter must be strictly increasing, so a duplicate or
+	// re-injected ciphertext is recognized by its stale MsgCTR.
+	lastCtr []uint64
+	ctrSeen []bool
+
+	pendingACK int
+	stats      Stats
+}
+
+// New creates an endpoint. mgr may be nil when opts.Secure is false. The
+// endpoint registers itself as the node's fabric deliverer.
+func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.NodeID,
+	opts Options, mgr otp.Manager, handler Handler) *Endpoint {
+	if opts.Secure && mgr == nil {
+		panic("secure: secure endpoint needs an OTP manager")
+	}
+	e := &Endpoint{
+		engine:  engine,
+		fabric:  fabric,
+		node:    node,
+		opts:    opts,
+		handler: handler,
+		mgr:     mgr,
+	}
+	peers := fabric.NumNodes() - 1
+	e.lastSendAt = make([]sim.Cycle, peers)
+	e.lastCtr = make([]uint64, peers)
+	e.ctrSeen = make([]bool, peers)
+	if opts.Functional {
+		gen, err := crypto.NewPadGenerator(SessionKey)
+		if err != nil {
+			panic(fmt.Sprintf("secure: session key: %v", err))
+		}
+		e.gen = gen
+	}
+	if opts.Secure && opts.Batching {
+		for class, n := range [2]int{opts.BatchSize, PageBlocks} {
+			e.batchers[class] = make([]*core.Batcher, peers)
+			e.macStores[class] = make([]*core.MACStore, peers)
+			for i := 0; i < peers; i++ {
+				e.batchers[class][i] = core.NewBatcher(n, opts.BatchTimeout, e.gen)
+				e.macStores[class][i] = core.NewMACStore(PageBlocks, e.gen)
+			}
+		}
+	}
+	fabric.Register(node, e)
+	return e
+}
+
+// Stats returns the endpoint's accumulated statistics.
+func (e *Endpoint) Stats() *Stats { return &e.stats }
+
+// OTPStats returns the OTP manager's outcome statistics (nil when
+// unsecure).
+func (e *Endpoint) OTPStats() *otp.Stats {
+	if e.mgr == nil {
+		return nil
+	}
+	return e.mgr.Stats()
+}
+
+// PeerIndex maps another node's ID to this endpoint's dense peer index.
+func (e *Endpoint) PeerIndex(other interconnect.NodeID) int {
+	return PeerIndex(e.node, other)
+}
+
+// PeerIndex maps other to the dense peer index used by self's pad tables:
+// all nodes except self, in ID order.
+func PeerIndex(self, other interconnect.NodeID) int {
+	if self == other {
+		panic("secure: a node is not its own peer")
+	}
+	if other < self {
+		return int(other)
+	}
+	return int(other) - 1
+}
+
+// PeerID is the inverse of PeerIndex.
+func PeerID(self interconnect.NodeID, index int) interconnect.NodeID {
+	if index < int(self) {
+		return interconnect.NodeID(index)
+	}
+	return interconnect.NodeID(index + 1)
+}
+
+// SendControl transmits an unprotected control message (read requests,
+// write acks, migration control). Control messages carry no data payload
+// and follow the paper in staying outside the OTP path.
+func (e *Endpoint) SendControl(dst interconnect.NodeID, kind interconnect.Kind, reqID, addr uint64, size int) {
+	e.fabric.Send(&interconnect.Message{
+		Kind:      kind,
+		Category:  categoryOf(kind),
+		Src:       e.node,
+		Dst:       dst,
+		BaseBytes: size,
+		ReqID:     reqID,
+		Addr:      addr,
+	})
+}
+
+// SendData transmits one protected 64B data block (a read response, write
+// data, or page-migration chunk). When the system is secure this consumes a
+// send OTP — possibly stalling on pad generation — attaches metadata, and
+// participates in batching and replay protection. Migration chunks
+// (KindMigrChunk) batch at page granularity; everything else batches at the
+// configured n. homedInCPUMemory marks blocks whose backing store is the
+// untrusted host DRAM, which drags memory-protection metadata across the
+// bus.
+func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, reqID, addr uint64,
+	payload []byte, homedInCPUMemory bool) {
+	msg := &interconnect.Message{
+		Kind:      kind,
+		Category:  interconnect.CatData,
+		Src:       e.node,
+		Dst:       dst,
+		BaseBytes: DataBytes,
+		ReqID:     reqID,
+		Addr:      addr,
+	}
+	e.stats.DataSent++
+	if !e.opts.Secure {
+		e.fabric.Send(msg)
+		return
+	}
+
+	peer := e.PeerIndex(dst)
+	now := e.engine.Now()
+	use := e.mgr.UseSend(now, peer)
+	sendAt := now + use.Stall + 1 // +1: the XOR once the pad is ready
+	if sendAt < e.lastSendAt[peer] {
+		sendAt = e.lastSendAt[peer]
+	}
+	e.lastSendAt[peer] = sendAt
+
+	env := &interconnect.SecEnvelope{MsgCTR: use.Ctr, SenderID: e.node}
+	msg.Sec = env
+
+	var mac [crypto.MACBytes]byte
+	if e.gen != nil {
+		pad := e.gen.Generate(use.Ctr, uint16(e.node), uint16(dst))
+		ct := make([]byte, crypto.BlockBytes)
+		src := payload
+		if len(src) != crypto.BlockBytes {
+			src = make([]byte, crypto.BlockBytes)
+			copy(src, payload)
+		}
+		crypto.Encrypt(ct, src, &pad)
+		env.Ciphertext = ct
+		mac = e.gen.MAC(ct, &pad)
+	}
+	env.MAC = mac
+
+	var closed *core.ClosedBatch
+	var class int
+	if e.opts.Batching {
+		class = batchClass(kind)
+		tag, c := e.batchers[class][peer].Add(sendAt, mac)
+		env.BatchClass = class
+		env.BatchID = tag.BatchID
+		env.BatchIndex = tag.Index
+		if e.opts.MetadataTraffic {
+			msg.MetaBytes = InlineMetaBatch
+			if tag.First {
+				msg.MetaBytes += BatchLenByte
+			}
+		}
+		closed = c
+		if c == nil && tag.First && e.opts.BatchTimeout > 0 {
+			e.scheduleBatchTimeout(dst, class, peer, tag.BatchID, sendAt)
+		}
+		if c != nil {
+			env.BatchLen = c.Len
+		}
+	} else if e.opts.MetadataTraffic {
+		msg.MetaBytes = InlineMetaConv
+	}
+	if homedInCPUMemory && e.opts.CPUMemProtection && e.opts.MetadataTraffic {
+		msg.MemProtBytes = MemProtBytes
+	}
+
+	e.pendingACK++
+	if e.pendingACK > e.stats.PendingACKPeak {
+		e.stats.PendingACKPeak = e.pendingACK
+	}
+
+	e.at(sendAt, func() {
+		e.fabric.Send(msg)
+		if closed != nil {
+			e.sendBatchMAC(dst, class, closed)
+		}
+	})
+}
+
+// batchClass routes migration chunks to the page-granularity batcher.
+func batchClass(kind interconnect.Kind) int {
+	if kind == interconnect.KindMigrChunk {
+		return 1
+	}
+	return 0
+}
+
+func (e *Endpoint) scheduleBatchTimeout(dst interconnect.NodeID, class, peer int, batchID uint64, openedAt sim.Cycle) {
+	e.engine.Schedule(openedAt+e.opts.BatchTimeout, sim.HandlerFunc(func(sim.Event) {
+		b := e.batchers[class][peer]
+		if id, open := b.OpenID(); open && id == batchID {
+			if cb := b.Flush(); cb != nil {
+				e.stats.TimeoutFlushes++
+				e.sendBatchMAC(dst, class, cb)
+			}
+		}
+	}), nil)
+}
+
+func (e *Endpoint) sendBatchMAC(dst interconnect.NodeID, class int, cb *core.ClosedBatch) {
+	e.stats.BatchMACsSent++
+	// In latency-only mode (MetadataTraffic off) the receiver still needs
+	// the verification event, so the message travels with zero bytes.
+	size := 0
+	if e.opts.MetadataTraffic {
+		size = BatchMACBytes
+	}
+	e.fabric.Send(&interconnect.Message{
+		Kind:      interconnect.KindBatchMAC,
+		Category:  interconnect.CatBatchMAC,
+		Src:       e.node,
+		Dst:       dst,
+		MetaBytes: size,
+		Sec: &interconnect.SecEnvelope{
+			SenderID:   e.node,
+			BatchClass: class,
+			BatchID:    cb.BatchID,
+			BatchLen:   cb.Len,
+			MAC:        cb.MAC,
+		},
+	})
+}
+
+// Deliver implements interconnect.Deliverer.
+func (e *Endpoint) Deliver(now sim.Cycle, msg *interconnect.Message) {
+	switch msg.Kind {
+	case interconnect.KindDataResp, interconnect.KindWriteReq, interconnect.KindMigrChunk:
+		e.deliverData(now, msg)
+	case interconnect.KindSecACK:
+		e.stats.ACKsReceived++
+		if e.pendingACK > 0 {
+			e.pendingACK--
+		}
+	case interconnect.KindBatchMAC:
+		peer := e.PeerIndex(msg.Src)
+		cb := &core.ClosedBatch{BatchID: msg.Sec.BatchID, Len: msg.Sec.BatchLen, MAC: msg.Sec.MAC}
+		if res := e.macStores[msg.Sec.BatchClass][peer].OnBatchMAC(cb); res != nil {
+			e.finishBatch(msg.Src, res)
+		}
+	default:
+		e.handler.HandleControl(now, msg)
+	}
+}
+
+func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
+	e.stats.DataReceived++
+	if !e.opts.Secure || msg.Sec == nil {
+		e.handler.HandleData(now, msg)
+		return
+	}
+	peer := e.PeerIndex(msg.Src)
+	if e.ctrSeen[peer] && msg.Sec.MsgCTR <= e.lastCtr[peer] {
+		// A counter at or below the last accepted one can only be a
+		// replayed or re-injected packet; it is dropped without
+		// consuming a pad or reaching the node.
+		e.stats.ReplaysDropped++
+		return
+	}
+	e.lastCtr[peer] = msg.Sec.MsgCTR
+	e.ctrSeen[peer] = true
+	use := e.mgr.UseRecv(now, peer, msg.Sec.MsgCTR)
+	deliverAt := now + use.Stall + 1
+
+	var mac [crypto.MACBytes]byte
+	if e.gen != nil {
+		pad := e.gen.Generate(msg.Sec.MsgCTR, uint16(msg.Src), uint16(e.node))
+		plain := make([]byte, crypto.BlockBytes)
+		crypto.Encrypt(plain, msg.Sec.Ciphertext, &pad)
+		mac = e.gen.MAC(msg.Sec.Ciphertext, &pad)
+		if !e.opts.Batching {
+			if mac == msg.Sec.MAC {
+				e.stats.DecryptOK++
+			} else {
+				e.stats.DecryptFailed++
+			}
+		}
+	}
+
+	if e.opts.Batching {
+		// Lazy verification (Section IV-C): the block is delivered as
+		// soon as it is decrypted; the MsgMAC storage verifies the
+		// batch when complete and only then ACKs.
+		tag := core.BlockTag{BatchID: msg.Sec.BatchID, Index: msg.Sec.BatchIndex, First: msg.Sec.BatchIndex == 0}
+		if res := e.macStores[msg.Sec.BatchClass][peer].OnBlock(tag, mac); res != nil {
+			e.finishBatch(msg.Src, res)
+		}
+	} else {
+		e.sendACK(msg.Src)
+	}
+
+	if use.Stall == 0 {
+		// Only the XOR remains; deliver without an extra event.
+		e.handler.HandleData(now, msg)
+		return
+	}
+	e.at(deliverAt, func() { e.handler.HandleData(e.engine.Now(), msg) })
+}
+
+func (e *Endpoint) finishBatch(src interconnect.NodeID, res *core.VerifyResult) {
+	if res.OK {
+		e.stats.BatchesVerified++
+		e.stats.DecryptOK += uint64(res.Len)
+	} else {
+		e.stats.BatchesFailed++
+		e.stats.DecryptFailed += uint64(res.Len)
+	}
+	e.sendACK(src)
+}
+
+func (e *Endpoint) sendACK(dst interconnect.NodeID) {
+	e.stats.ACKsSent++
+	size := 0
+	if e.opts.MetadataTraffic {
+		size = ACKBytes
+	}
+	e.fabric.Send(&interconnect.Message{
+		Kind:      interconnect.KindSecACK,
+		Category:  interconnect.CatSecACK,
+		Src:       e.node,
+		Dst:       dst,
+		MetaBytes: size,
+	})
+}
+
+// at runs fn now (when the cycle is current) or schedules it.
+func (e *Endpoint) at(cycle sim.Cycle, fn func()) {
+	if cycle <= e.engine.Now() {
+		fn()
+		return
+	}
+	e.engine.Schedule(cycle, sim.HandlerFunc(func(sim.Event) { fn() }), nil)
+}
+
+func categoryOf(kind interconnect.Kind) interconnect.Category {
+	switch kind {
+	case interconnect.KindReadReq:
+		return interconnect.CatData
+	default:
+		return interconnect.CatControl
+	}
+}

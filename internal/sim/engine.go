@@ -1,0 +1,161 @@
+// Package sim provides the discrete-event simulation kernel that drives the
+// secure multi-GPU model. It plays the role MGPUSim's Akita engine plays in
+// the paper: components schedule events at future cycles and the engine
+// executes them in deterministic time order.
+//
+// Time is measured in integer cycles of the 1 GHz GPU clock (Table III of the
+// paper), so one cycle equals one nanosecond. Determinism is guaranteed by
+// breaking time ties with a monotonically increasing sequence number, which
+// makes every simulation bit-reproducible for a given configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in simulated time, in GPU clock cycles.
+type Cycle uint64
+
+// MaxCycle is the largest representable simulation time. It is used as the
+// "never" sentinel by components that need an inactive deadline.
+const MaxCycle Cycle = math.MaxUint64
+
+// Handler consumes an event when its scheduled cycle is reached.
+type Handler interface {
+	// Handle is invoked exactly once, at the event's scheduled cycle.
+	Handle(ev Event)
+}
+
+// HandlerFunc adapts a plain function to the Handler interface.
+type HandlerFunc func(ev Event)
+
+// Handle calls f(ev).
+func (f HandlerFunc) Handle(ev Event) { f(ev) }
+
+// Event is a unit of scheduled work.
+type Event struct {
+	// At is the cycle the event fires.
+	At Cycle
+	// Handler receives the event.
+	Handler Handler
+	// Payload carries arbitrary event data; its type is a contract between
+	// the scheduling component and the handler.
+	Payload any
+
+	seq uint64
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Cycle
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+
+	// EventLimit bounds the number of events processed by Run as a runaway
+	// guard; zero means no limit.
+	EventLimit uint64
+	processed  uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule enqueues an event at the given absolute cycle. Scheduling in the
+// past panics: it always indicates a component bug, and silently reordering
+// time would destroy the causality the whole model depends on.
+func (e *Engine) Schedule(at Cycle, h Handler, payload any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", at, e.now))
+	}
+	if h == nil {
+		panic("sim: schedule with nil handler")
+	}
+	e.nextSeq++
+	heap.Push(&e.queue, Event{At: at, Handler: h, Payload: payload, seq: e.nextSeq})
+}
+
+// ScheduleAfter enqueues an event delay cycles from now.
+func (e *Engine) ScheduleAfter(delay Cycle, h Handler, payload any) {
+	e.Schedule(e.now+delay, h, payload)
+}
+
+// Pending reports the number of events not yet processed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed reports the number of events handled so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Stop makes Run return after the current event completes. Components use it
+// to end a simulation when their termination condition is met.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in (cycle, sequence) order until the queue drains,
+// Stop is called, or EventLimit is hit. It returns the final cycle and an
+// error if the event limit was exceeded.
+func (e *Engine) Run() (Cycle, error) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(Event)
+		if ev.At < e.now {
+			panic("sim: event heap time regression")
+		}
+		e.now = ev.At
+		e.processed++
+		if e.EventLimit > 0 && e.processed > e.EventLimit {
+			return e.now, fmt.Errorf("sim: event limit %d exceeded at cycle %d", e.EventLimit, e.now)
+		}
+		ev.Handler.Handle(ev)
+	}
+	return e.now, nil
+}
+
+// RunUntil processes events with cycle <= limit, leaving later events queued.
+func (e *Engine) RunUntil(limit Cycle) (Cycle, error) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].At > limit {
+			e.now = limit
+			return e.now, nil
+		}
+		ev := heap.Pop(&e.queue).(Event)
+		e.now = ev.At
+		e.processed++
+		if e.EventLimit > 0 && e.processed > e.EventLimit {
+			return e.now, fmt.Errorf("sim: event limit %d exceeded at cycle %d", e.EventLimit, e.now)
+		}
+		ev.Handler.Handle(ev)
+	}
+	return e.now, nil
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

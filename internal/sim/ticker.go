@@ -1,0 +1,42 @@
+package sim
+
+// Ticker invokes a callback at a fixed period, used for interval-based
+// components such as the Dynamic OTP allocator's monitoring phase (the
+// paper's T = 1000-cycle interval).
+type Ticker struct {
+	engine *Engine
+	period Cycle
+	fn     func(now Cycle)
+	active bool
+}
+
+// NewTicker creates a ticker that calls fn every period cycles once started.
+// A zero period panics: a zero-length interval would livelock the engine.
+func NewTicker(engine *Engine, period Cycle, fn func(now Cycle)) *Ticker {
+	if period == 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{engine: engine, period: period, fn: fn}
+}
+
+// Start schedules the first tick one period from now. Starting an active
+// ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.engine.ScheduleAfter(t.period, HandlerFunc(t.tick), nil)
+}
+
+// Stop cancels future ticks. The currently queued tick still fires but is
+// ignored.
+func (t *Ticker) Stop() { t.active = false }
+
+func (t *Ticker) tick(ev Event) {
+	if !t.active {
+		return
+	}
+	t.fn(t.engine.Now())
+	t.engine.ScheduleAfter(t.period, HandlerFunc(t.tick), nil)
+}

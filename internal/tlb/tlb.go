@@ -1,0 +1,88 @@
+// Package tlb models the address-translation hierarchy of Section II-A:
+// per-GPU L1 and shared L2 TLBs, with misses forwarded to the IOMMU on the
+// CPU side (a PCIe round trip plus a page-table walk). Page migrations
+// trigger shootdowns that invalidate the translation.
+//
+// The machine layer integrates the hierarchy behind Config.ModelTLB; the
+// paper's evaluation holds translation behaviour constant across schemes,
+// so the default configuration leaves it disabled and an ablation measures
+// its effect.
+package tlb
+
+import (
+	"secmgpu/internal/mem"
+	"secmgpu/internal/sim"
+)
+
+// Latencies of the translation path, in cycles.
+const (
+	// L1Latency is a first-level TLB hit.
+	L1Latency sim.Cycle = 1
+	// L2Latency is a shared second-level TLB hit.
+	L2Latency sim.Cycle = 20
+	// IOMMUWalkLatency is the page-table walk at the IOMMU, excluding the
+	// PCIe round trip to reach it.
+	IOMMUWalkLatency sim.Cycle = 400
+)
+
+// Hierarchy is one GPU's translation path.
+type Hierarchy struct {
+	l1 *mem.Cache
+	l2 *mem.Cache
+	// pcieRoundTrip is the CPU round trip paid on an L2 miss.
+	pcieRoundTrip sim.Cycle
+	// invalidated pages pay a forced IOMMU walk on their next access
+	// (shootdowns cannot surgically remove entries from the tag-only
+	// cache model, and migrations are rare relative to accesses).
+	invalidated map[uint64]struct{}
+
+	hits1, hits2, walks, shootdowns uint64
+}
+
+// New builds a GPU translation hierarchy: a 64-entry 16-way L1 TLB and a
+// 1024-entry 8-way L2 TLB (page granularity), with the given PCIe
+// round-trip cost for IOMMU walks.
+func New(pcieRoundTrip sim.Cycle) *Hierarchy {
+	return &Hierarchy{
+		// mem.Cache works in byte addresses; feeding it page numbers
+		// with a 1-byte block makes capacity equal entry count.
+		l1:            mem.NewCache(64, 16, 1),
+		l2:            mem.NewCache(1024, 8, 1),
+		pcieRoundTrip: pcieRoundTrip,
+		invalidated:   make(map[uint64]struct{}),
+	}
+}
+
+// Translate returns the translation latency for a page and whether the
+// request had to walk to the IOMMU.
+func (h *Hierarchy) Translate(page uint64) (sim.Cycle, bool) {
+	if _, bad := h.invalidated[page]; bad {
+		delete(h.invalidated, page)
+		h.l1.Access(page)
+		h.l2.Access(page)
+		h.walks++
+		return L1Latency + L2Latency + h.pcieRoundTrip + IOMMUWalkLatency, true
+	}
+	if h.l1.Access(page) {
+		h.hits1++
+		return L1Latency, false
+	}
+	if h.l2.Access(page) {
+		h.hits2++
+		return L1Latency + L2Latency, false
+	}
+	h.walks++
+	return L1Latency + L2Latency + h.pcieRoundTrip + IOMMUWalkLatency, true
+}
+
+// Shootdown invalidates the translation for a page: its next access pays a
+// full IOMMU walk.
+func (h *Hierarchy) Shootdown(page uint64) {
+	h.shootdowns++
+	h.invalidated[page] = struct{}{}
+}
+
+// Stats reports hierarchy activity.
+func (h *Hierarchy) Stats() (l1Hits, l2Hits, walks, shootdowns uint64) {
+	return h.hits1, h.hits2, h.walks, h.shootdowns
+}

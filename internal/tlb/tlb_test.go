@@ -1,0 +1,94 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const rt = 800 // PCIe round trip used in tests
+
+func TestColdAccessWalks(t *testing.T) {
+	h := New(rt)
+	lat, walked := h.Translate(42)
+	if !walked {
+		t.Fatal("cold translation did not walk")
+	}
+	if lat != L1Latency+L2Latency+rt+IOMMUWalkLatency {
+		t.Errorf("walk latency=%d", lat)
+	}
+}
+
+func TestWarmAccessHitsL1(t *testing.T) {
+	h := New(rt)
+	h.Translate(42)
+	lat, walked := h.Translate(42)
+	if walked || lat != L1Latency {
+		t.Errorf("warm translation lat=%d walked=%v", lat, walked)
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	h := New(rt)
+	// Fill far past the 64-entry L1 but within the 1024-entry L2.
+	for p := uint64(0); p < 512; p++ {
+		h.Translate(p)
+	}
+	lat, walked := h.Translate(0)
+	if walked {
+		t.Fatal("page 0 fell out of a 1024-entry L2 after 512 fills")
+	}
+	if lat != L1Latency+L2Latency {
+		t.Errorf("L2 hit latency=%d", lat)
+	}
+}
+
+func TestShootdownForcesWalk(t *testing.T) {
+	h := New(rt)
+	h.Translate(7)
+	h.Shootdown(7)
+	lat, walked := h.Translate(7)
+	if !walked {
+		t.Fatal("post-shootdown translation did not walk")
+	}
+	if lat <= L1Latency+L2Latency {
+		t.Errorf("post-shootdown latency=%d", lat)
+	}
+	// And the page re-caches afterwards.
+	if _, walked := h.Translate(7); walked {
+		t.Error("page did not re-cache after the forced walk")
+	}
+	_, _, walks, shootdowns := h.Stats()
+	if walks != 2 || shootdowns != 1 {
+		t.Errorf("walks=%d shootdowns=%d", walks, shootdowns)
+	}
+}
+
+// Property: latency is always one of the three path latencies, and a
+// repeat access without interference is never slower.
+func TestTranslateLatencyProperty(t *testing.T) {
+	prop := func(pages []uint16) bool {
+		h := New(rt)
+		for _, p := range pages {
+			lat, _ := h.Translate(uint64(p) % 32)
+			switch lat {
+			case L1Latency, L1Latency + L2Latency, L1Latency + L2Latency + rt + IOMMUWalkLatency:
+			default:
+				return false
+			}
+		}
+		// A 32-page working set fits L2; re-touch must never walk.
+		for p := uint64(0); p < 32; p++ {
+			h.Translate(p)
+		}
+		for p := uint64(0); p < 32; p++ {
+			if _, walked := h.Translate(p); walked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(14))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryMatchesTableIV(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 17 {
+		t.Fatalf("registry has %d workloads, want 17 (Table IV)", len(specs))
+	}
+	wantClass := map[string]Class{
+		"mt": HighRPKI, "relu": HighRPKI, "pr": HighRPKI, "syr2k": HighRPKI, "spmv": HighRPKI,
+		"sc": MediumRPKI, "mm": MediumRPKI, "atax": MediumRPKI, "bicg": MediumRPKI,
+		"ges": MediumRPKI, "mvt": MediumRPKI, "st": MediumRPKI, "fft": MediumRPKI, "km": MediumRPKI,
+		"floyd": LowRPKI, "aes": LowRPKI, "fir": LowRPKI,
+	}
+	if len(wantClass) != 17 {
+		t.Fatal("test table is wrong")
+	}
+	for _, s := range specs {
+		want, ok := wantClass[s.Abbr]
+		if !ok {
+			t.Errorf("unexpected workload %q", s.Abbr)
+			continue
+		}
+		if s.Class != want {
+			t.Errorf("%s class=%v, want %v", s.Abbr, s.Class, want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.Abbr, err)
+		}
+		if s.Suite == "" {
+			t.Errorf("%s missing suite", s.Abbr)
+		}
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	s, err := ByAbbr("mm")
+	if err != nil {
+		t.Fatalf("ByAbbr(mm): %v", err)
+	}
+	if s.Name != "matrixmultiplication" {
+		t.Errorf("mm resolves to %q", s.Name)
+	}
+	if _, err := ByAbbr("nope"); err == nil {
+		t.Error("unknown abbreviation did not error")
+	}
+}
+
+func TestByClassPartitions(t *testing.T) {
+	total := 0
+	for _, c := range []Class{HighRPKI, MediumRPKI, LowRPKI} {
+		total += len(ByClass(c))
+	}
+	if total != 17 {
+		t.Errorf("classes partition %d workloads, want 17", total)
+	}
+	if got := len(ByClass(HighRPKI)); got != 5 {
+		t.Errorf("high RPKI count=%d, want 5", got)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	s, _ := ByAbbr("mm")
+	a := s.Trace(1, 4, 0.1, 42)
+	b := s.Trace(1, 4, 0.1, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different traces")
+	}
+	c := s.Trace(1, 4, 0.1, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical traces")
+	}
+	d := s.Trace(2, 4, 0.1, 42)
+	if reflect.DeepEqual(a, d) {
+		t.Error("different GPUs produced identical traces")
+	}
+}
+
+func TestTraceDestinationsValid(t *testing.T) {
+	for _, s := range Registry() {
+		ops := s.Trace(2, 4, 0.05, 1)
+		if len(ops) == 0 {
+			t.Fatalf("%s: empty trace", s.Abbr)
+		}
+		for i, op := range ops {
+			if op.Home == 2 {
+				t.Fatalf("%s op %d targets the requester itself", s.Abbr, i)
+			}
+			if op.Home < 0 || op.Home > 4 {
+				t.Fatalf("%s op %d home=%d outside 0..4", s.Abbr, i, op.Home)
+			}
+			if op.Block > 63 {
+				t.Fatalf("%s op %d block=%d", s.Abbr, i, op.Block)
+			}
+			if int(op.Page) >= s.PagePool {
+				t.Fatalf("%s op %d page=%d beyond pool %d", s.Abbr, i, op.Page, s.PagePool)
+			}
+		}
+	}
+}
+
+func TestTraceScale(t *testing.T) {
+	s, _ := ByAbbr("syr2k")
+	full := s.Trace(1, 4, 1.0, 1)
+	tenth := s.Trace(1, 4, 0.1, 1)
+	if len(full) < 9*len(tenth) {
+		t.Errorf("scale 1.0 gave %d ops vs %d at 0.1", len(full), len(tenth))
+	}
+	if got := len(full); got < s.OpsPerGPU {
+		t.Errorf("full trace has %d ops, want >= %d", got, s.OpsPerGPU)
+	}
+}
+
+func TestRPKIClassSetsIntensity(t *testing.T) {
+	// High-RPKI traces must be denser in time than low-RPKI traces:
+	// compare total gap per op.
+	density := func(abbr string) float64 {
+		s, err := ByAbbr(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := s.Trace(1, 4, 0.2, 1)
+		var gaps uint64
+		for _, op := range ops {
+			gaps += uint64(op.Gap)
+		}
+		return float64(gaps) / float64(len(ops))
+	}
+	high := density("syr2k")
+	low := density("fir")
+	if high*5 > low {
+		t.Errorf("gap/op: high=%.1f low=%.1f; low-RPKI should be much sparser", high, low)
+	}
+}
+
+func TestBurstsTargetOneDestination(t *testing.T) {
+	// Within a burst (gap 0 or tiny), consecutive ops should share a
+	// destination; that is the property metadata batching exploits.
+	s, _ := ByAbbr("mt")
+	ops := s.Trace(1, 4, 0.1, 1)
+	var sameDest, burstPairs int
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Gap <= uint32(s.IntraGapMax) {
+			burstPairs++
+			if ops[i].Home == ops[i-1].Home {
+				sameDest++
+			}
+		}
+	}
+	if burstPairs == 0 {
+		t.Fatal("no bursts detected")
+	}
+	// Bursts are destination-coherent apart from the ~15% stray accesses
+	// interleaved by concurrent wavefronts.
+	if frac := float64(sameDest) / float64(burstPairs); frac < 0.70 || frac > 0.95 {
+		t.Errorf("burst destination coherence=%.2f, want within [0.70, 0.95]", frac)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good, _ := ByAbbr("mm")
+	mutations := map[string]func(*Spec){
+		"no name":     func(s *Spec) { s.Name = "" },
+		"zero ops":    func(s *Spec) { s.OpsPerGPU = 0 },
+		"bad burst":   func(s *Spec) { s.BurstMax = s.BurstMin - 1 },
+		"bad gaps":    func(s *Spec) { s.InterGapMax = s.InterGapMin - 1 },
+		"write frac":  func(s *Spec) { s.WriteFrac = 1.5 },
+		"reuse":       func(s *Spec) { s.PageReuse = -0.1 },
+		"zero phases": func(s *Spec) { s.Phases = 0 },
+	}
+	for name, mutate := range mutations {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad spec", name)
+		}
+	}
+}
+
+func TestTraceBadGPUPanics(t *testing.T) {
+	s, _ := ByAbbr("mm")
+	defer func() {
+		if recover() == nil {
+			t.Error("gpu 0 did not panic")
+		}
+	}()
+	s.Trace(0, 4, 0.1, 1)
+}
+
+// Property: traces are valid for any (gpu, numGPUs >= 2, seed).
+func TestTraceValidityProperty(t *testing.T) {
+	specs := Registry()
+	prop := func(gpuRaw, nRaw uint8, seed int64) bool {
+		n := int(nRaw%15) + 2
+		gpu := int(gpuRaw)%n + 1
+		s := specs[int(seed%17+17)%17]
+		ops := s.Trace(gpu, n, 0.01, seed)
+		for _, op := range ops {
+			if op.Home == gpu || op.Home < 0 || op.Home > n || op.Block > 63 {
+				return false
+			}
+		}
+		return len(ops) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}

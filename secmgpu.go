@@ -1,0 +1,212 @@
+// Package secmgpu is a simulation library for secure multi-GPU computing
+// with dynamic and batched security-metadata management. It reproduces the
+// system of Na, Kim, Lee and Huh, "Supporting Secure Multi-GPU Computing
+// with Dynamic and Batched Metadata Management" (HPCA 2024):
+//
+//   - a discrete-event model of a unified-memory multi-GPU machine (CPU +
+//     N GPUs, PCIe + NVLink-class fabric, HBM, page migration and direct
+//     cacheline-granularity block access);
+//   - counter-mode authenticated encryption of all inter-processor traffic
+//     with pre-generated one-time pads, under the Private / Shared / Cached
+//     buffer-management baselines;
+//   - the paper's contributions: EWMA-driven dynamic OTP buffer
+//     re-partitioning and security-metadata batching with lazy integrity
+//     verification;
+//   - the 17 evaluated workloads of Table IV as synthetic communication
+//     models, and one experiment runner per table and figure.
+//
+// # Quick start
+//
+//	cfg := secmgpu.DefaultConfig(4)
+//	cfg.Secure = true
+//	cfg.Scheme = secmgpu.SchemeDynamic
+//	cfg.Batching = true
+//	cfg.Scale = 0.1
+//
+//	spec, _ := secmgpu.WorkloadByAbbr("mm")
+//	res, err := secmgpu.Run(cfg, spec, secmgpu.RunOptions{})
+//
+// See the examples/ directory for complete programs and cmd/secbench for
+// regenerating every table and figure.
+package secmgpu
+
+import (
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/experiments"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/workload"
+)
+
+// Config describes one simulated system (Table III parameters, scheme
+// selection, workload scale).
+type Config = config.Config
+
+// Scheme selects the OTP buffer management policy.
+type Scheme = config.OTPScheme
+
+// The OTP buffer management policies of Section II-C and IV-B.
+const (
+	SchemePrivate = config.OTPPrivate
+	SchemeShared  = config.OTPShared
+	SchemeCached  = config.OTPCached
+	SchemeDynamic = config.OTPDynamic
+	// SchemeOracle is an unimplementable always-ready-pad upper bound for
+	// ablation studies.
+	SchemeOracle = config.OTPOracle
+)
+
+// RunOptions selects run-time features (functional crypto, communication
+// tracing).
+type RunOptions = machine.RunOptions
+
+// Result is the outcome of one simulation: execution time, traffic
+// accounting, OTP statistics, batching statistics.
+type Result = machine.Result
+
+// WorkloadSpec parameterizes one benchmark's communication model.
+type WorkloadSpec = workload.Spec
+
+// OTPStats aggregates pad-use outcomes (hit / partially hidden / miss).
+type OTPStats = otp.Stats
+
+// Directions for OTPStats queries.
+const (
+	Send = otp.Send
+	Recv = otp.Recv
+)
+
+// Outcomes for OTPStats queries.
+const (
+	OTPHit     = otp.Hit
+	OTPPartial = otp.Partial
+	OTPMiss    = otp.Miss
+)
+
+// DefaultConfig returns the paper's Table III configuration for the given
+// GPU count, with security disabled (the normalization baseline).
+func DefaultConfig(numGPUs int) Config { return config.Default(numGPUs) }
+
+// Workloads returns the 17 evaluated benchmarks of Table IV.
+func Workloads() []WorkloadSpec { return workload.Registry() }
+
+// WorkloadByAbbr looks a workload up by its Table IV abbreviation
+// ("mm", "syr2k", ...).
+func WorkloadByAbbr(abbr string) (WorkloadSpec, error) { return workload.ByAbbr(abbr) }
+
+// Run simulates one workload on one system configuration and returns the
+// result. The run is deterministic in (cfg, spec, opt).
+func Run(cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	traces := make([][]workload.Op, cfg.NumGPUs)
+	for g := 1; g <= cfg.NumGPUs; g++ {
+		traces[g-1] = spec.Trace(g, cfg.NumGPUs, cfg.Scale, cfg.Seed)
+	}
+	sys, err := machine.New(cfg, traces, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// Slowdown runs spec under both cfg and its unsecure baseline and returns
+// the normalized execution time (1.0 = no overhead), the metric of the
+// paper's Figures 8, 9, 21, 24, 25 and 26.
+func Slowdown(cfg Config, spec WorkloadSpec, opt RunOptions) (float64, error) {
+	base := cfg
+	base.Secure = false
+	ub, err := Run(base, spec, opt)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	sec, err := Run(cfg, spec, opt)
+	if err != nil {
+		return 0, err
+	}
+	return float64(sec.Cycles) / float64(ub.Cycles), nil
+}
+
+// ExperimentParams sizes a table/figure reproduction.
+type ExperimentParams = experiments.Params
+
+// ExperimentTable is a reproduced table or figure.
+type ExperimentTable = experiments.Table
+
+// Experiments returns the available experiment names (tables and figures
+// of the paper plus the repository's ablations).
+func Experiments() []string {
+	return []string{
+		"table1", "table4",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+		"ablation-alpha-beta", "ablation-batch-size", "ablation-timeout", "ablation-decompose", "ablation-oracle", "ablation-tlb", "ablation-topology", "ablation-cu-frontend",
+	}
+}
+
+// RunExperiment reproduces one table or figure by name.
+func RunExperiment(name string, p ExperimentParams) (*ExperimentTable, error) {
+	switch name {
+	case "table1":
+		return experiments.Table1(), nil
+	case "table4":
+		return experiments.Table4(), nil
+	case "fig8":
+		return experiments.Fig8(p)
+	case "fig9":
+		return experiments.Fig9(p)
+	case "fig10":
+		return experiments.Fig10(p)
+	case "fig11":
+		return experiments.Fig11(p)
+	case "fig12":
+		return experiments.Fig12(p)
+	case "fig13":
+		return experiments.Fig13(p)
+	case "fig14":
+		return experiments.Fig14(p)
+	case "fig15":
+		return experiments.Fig15(p)
+	case "fig16":
+		return experiments.Fig16(p)
+	case "fig21":
+		return experiments.Fig21(p)
+	case "fig22":
+		return experiments.Fig22(p)
+	case "fig23":
+		return experiments.Fig23(p)
+	case "fig24":
+		return experiments.Fig24(p)
+	case "fig25":
+		return experiments.Fig25(p)
+	case "fig26":
+		return experiments.Fig26(p)
+	case "ablation-alpha-beta":
+		return experiments.AblationAlphaBeta(p)
+	case "ablation-batch-size":
+		return experiments.AblationBatchSize(p)
+	case "ablation-timeout":
+		return experiments.AblationBatchTimeout(p)
+	case "ablation-decompose":
+		return experiments.AblationDecomposition(p)
+	case "ablation-oracle":
+		return experiments.AblationOracle(p)
+	case "ablation-tlb":
+		return experiments.AblationTLB(p)
+	case "ablation-topology":
+		return experiments.AblationTopology(p)
+	case "ablation-cu-frontend":
+		return experiments.AblationCUFrontEnd(p)
+	default:
+		return nil, fmt.Errorf("secmgpu: unknown experiment %q", name)
+	}
+}
+
+// DefaultExperimentParams returns 4-GPU parameters at the given workload
+// scale (1.0 reproduces the full evaluation size).
+func DefaultExperimentParams(scale float64) ExperimentParams {
+	return experiments.DefaultParams(scale)
+}

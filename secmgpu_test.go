@@ -1,0 +1,132 @@
+package secmgpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallConfig(gpus int) Config {
+	cfg := DefaultConfig(gpus)
+	cfg.Scale = 0.02
+	return cfg
+}
+
+func TestRunUnsecureAndSecure(t *testing.T) {
+	spec, err := WorkloadByAbbr("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(4)
+	base, err := Run(cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatalf("unsecure run: %v", err)
+	}
+	if base.Cycles == 0 || base.Ops == 0 {
+		t.Fatal("empty result")
+	}
+
+	cfg.Secure = true
+	cfg.Scheme = SchemeDynamic
+	cfg.Batching = true
+	sec, err := Run(cfg, spec, RunOptions{Functional: true})
+	if err != nil {
+		t.Fatalf("secure run: %v", err)
+	}
+	if sec.Ops != base.Ops {
+		t.Errorf("ops differ: %d vs %d", sec.Ops, base.Ops)
+	}
+	if sec.Sec.DecryptFailed != 0 || sec.Sec.BatchesFailed != 0 {
+		t.Errorf("functional failures: decrypt=%d batches=%d",
+			sec.Sec.DecryptFailed, sec.Sec.BatchesFailed)
+	}
+	if sec.OTP.Uses(Send) == 0 || sec.OTP.Uses(Recv) == 0 {
+		t.Error("no OTP activity recorded")
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	spec, _ := WorkloadByAbbr("mm")
+	cfg := smallConfig(4)
+	cfg.NumGPUs = 0
+	if _, err := Run(cfg, spec, RunOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSlowdownOrdering(t *testing.T) {
+	spec, err := WorkloadByAbbr("syr2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(4)
+	cfg.Scale = 0.15
+	cfg.Secure = true
+
+	cfg.Scheme = SchemePrivate
+	private, err := Slowdown(cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = SchemeShared
+	shared, err := Slowdown(cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = SchemeDynamic
+	cfg.Batching = true
+	ours, err := Slowdown(cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private < 1.0 {
+		t.Errorf("Private slowdown %.3f < 1; securing cannot speed up syr2k", private)
+	}
+	if shared <= private {
+		t.Errorf("Shared %.3f <= Private %.3f; paper ordering violated", shared, private)
+	}
+	if ours >= private {
+		t.Errorf("Ours %.3f >= Private %.3f; the contributions should win", ours, private)
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	if got := len(Workloads()); got != 17 {
+		t.Errorf("workloads=%d, want 17", got)
+	}
+	if _, err := WorkloadByAbbr("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	names := Experiments()
+	if len(names) < 20 {
+		t.Fatalf("only %d experiments registered", len(names))
+	}
+	p := DefaultExperimentParams(0.02)
+	p.Workloads = []string{"mm"}
+
+	// Analytic tables run instantly.
+	tab, err := RunExperiment("table1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Value("4", "1x KB"); !ok || v < 2.7 || v > 2.8 {
+		t.Errorf("Table I 4-GPU 1x storage=%v, want ~2.75 KB", v)
+	}
+
+	// One simulated figure end to end.
+	fig, err := RunExperiment("fig21", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 1 || fig.Rows[0].Label != "mm" {
+		t.Fatalf("fig21 rows=%v", fig.Rows)
+	}
+	if !strings.Contains(fig.String(), "Figure 21") {
+		t.Error("table render missing ID")
+	}
+	if _, err := RunExperiment("nope", p); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
