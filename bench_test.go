@@ -16,6 +16,8 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	"secmgpu/internal/sweep"
 )
 
 func benchScale() float64 {
@@ -46,6 +48,9 @@ func reportColumns(b *testing.B, t *ExperimentTable) {
 func runExperimentBench(b *testing.B, name string, p ExperimentParams) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration keeps the benchmark measuring
+		// simulation, not the sweep engine's result cache.
+		p.Engine = sweep.New(0)
 		t, err := RunExperiment(name, p)
 		if err != nil {
 			b.Fatalf("%s: %v", name, err)

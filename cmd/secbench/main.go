@@ -1,6 +1,14 @@
 // Command secbench regenerates the paper's tables and figures on the
 // simulated secure multi-GPU system.
 //
+// All experiments run through the shared sweep engine, so identical
+// (workload, config) cells are simulated once per invocation even when
+// several figures need them — `secbench -exp all` re-uses the Unsecure
+// baseline across nearly every figure and reports the deduplication in a
+// final sweep summary. SIGINT cancels the run gracefully: in-flight
+// simulations finish, no new cells start, and completed tables remain
+// printed.
+//
 // Usage:
 //
 //	secbench -exp fig21 -scale 0.25
@@ -9,102 +17,125 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
 	"time"
 
 	"secmgpu/internal/experiments"
+	"secmgpu/internal/sweep"
 )
 
-type runner func(experiments.Params) (*experiments.Table, error)
+// reporter is the live stderr progress view of the sweep engine: one
+// rewritten status line per completed cell, cleared before tables print.
+type reporter struct {
+	name  string
+	dirty bool
+}
 
-func registry() map[string]runner {
-	return map[string]runner{
-		"table1": func(experiments.Params) (*experiments.Table, error) { return experiments.Table1(), nil },
-		"table4": func(experiments.Params) (*experiments.Table, error) { return experiments.Table4(), nil },
-		"fig8":   experiments.Fig8,
-		"fig9":   experiments.Fig9,
-		"fig10":  experiments.Fig10,
-		"fig11":  experiments.Fig11,
-		"fig12":  experiments.Fig12,
-		"fig13":  experiments.Fig13,
-		"fig14":  experiments.Fig14,
-		"fig15":  experiments.Fig15,
-		"fig16":  experiments.Fig16,
-		"fig21":  experiments.Fig21,
-		"fig22":  experiments.Fig22,
-		"fig23":  experiments.Fig23,
-		"fig24":  experiments.Fig24,
-		"fig25":  experiments.Fig25,
-		"fig26":  experiments.Fig26,
+func (r *reporter) observe(ev sweep.Event) {
+	if ev.Err != nil {
+		r.clear()
+		fmt.Fprintf(os.Stderr, "secbench: %s: cell %s failed: %v\n", r.name, ev.Label, ev.Err)
+	}
+	fmt.Fprintf(os.Stderr, "\r\033[K  %s: %d/%d cells · %d cached · %d failed · last %s %.2fs",
+		r.name, ev.Done, ev.Total, ev.CachedCells, ev.FailedCells, ev.Label, ev.Duration.Seconds())
+	r.dirty = true
+}
 
-		"ablation-alpha-beta":  experiments.AblationAlphaBeta,
-		"ablation-batch-size":  experiments.AblationBatchSize,
-		"ablation-timeout":     experiments.AblationBatchTimeout,
-		"ablation-decompose":   experiments.AblationDecomposition,
-		"ablation-oracle":      experiments.AblationOracle,
-		"ablation-tlb":         experiments.AblationTLB,
-		"ablation-topology":    experiments.AblationTopology,
-		"ablation-cu-frontend": experiments.AblationCUFrontEnd,
+// clear erases the in-place status line so regular output starts clean.
+func (r *reporter) clear() {
+	if r.dirty {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+		r.dirty = false
 	}
 }
 
 func main() {
-	exp := flag.String("exp", "fig21", "experiment to run (or 'all')")
+	exp := flag.String("exp", "fig21", "experiment to run (or 'all', or a comma-separated list)")
 	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
 	gpus := flag.Int("gpus", 4, "number of GPUs")
 	seed := flag.Int64("seed", 1, "workload seed")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
+	quiet := flag.Bool("quiet", false, "disable the live progress line")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
 	flag.Parse()
 
-	reg := registry()
+	reg := experiments.Registry()
 	if *list {
-		names := make([]string, 0, len(reg))
-		for n := range reg {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		fmt.Println(strings.Join(names, "\n"))
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
 	}
 
-	p := experiments.Params{GPUs: *gpus, Scale: *scale, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engine := sweep.New(*par)
+	rep := &reporter{}
+	if !*quiet {
+		engine.Observe(rep.observe)
+	}
+
+	p := experiments.Params{GPUs: *gpus, Scale: *scale, Seed: *seed, Parallelism: *par, Engine: engine}
 	if *workloads != "" {
 		p.Workloads = strings.Split(*workloads, ",")
 	}
 
 	var names []string
 	if *exp == "all" {
-		for n := range reg {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+		names = experiments.Names()
 	} else {
 		names = strings.Split(*exp, ",")
 	}
 
+	start := time.Now()
+	failed := 0
+	interrupted := false
 	for _, name := range names {
 		fn, ok := reg[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "secbench: unknown experiment %q (use -list)\n", name)
 			os.Exit(2)
 		}
-		start := time.Now()
-		table, err := fn(p)
+		rep.name = name
+		expStart := time.Now()
+		table, err := fn(ctx, p)
+		rep.clear()
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
+			// A failed experiment does not abort the rest of the run;
+			// the sweep engine already isolated the broken cell.
 			fmt.Fprintf(os.Stderr, "secbench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed++
+			continue
 		}
 		if *csv {
 			fmt.Print(table.CSV())
 		} else {
 			fmt.Print(table.String())
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(expStart).Seconds())
+	}
+
+	st := engine.Stats()
+	fmt.Fprintf(os.Stderr,
+		"sweep summary: %d cells requested, %d simulated, %d deduplicated (cache hits), %d failed; %.1fs simulation time in %.1fs wall\n",
+		st.Cells, st.Simulated, st.CacheHits, st.Failed,
+		st.SimTime.Seconds(), time.Since(start).Seconds())
+	switch {
+	case interrupted:
+		fmt.Fprintln(os.Stderr, "secbench: interrupted; tables printed above are complete, the rest were skipped")
+		os.Exit(130)
+	case failed > 0:
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"secmgpu/internal/config"
@@ -12,7 +13,7 @@ import (
 
 // AblationAlphaBeta sweeps the EWMA forgetting rates of the Dynamic
 // allocator (the paper fixes alpha=0.9, beta=0.5 "based on experiments").
-func AblationAlphaBeta(p Params) (*Table, error) {
+func AblationAlphaBeta(ctx context.Context, p Params) (*Table, error) {
 	t := &Table{
 		ID:       "Ablation A1",
 		Title:    "Dynamic allocator sensitivity to alpha/beta (avg normalized exec time)",
@@ -31,7 +32,7 @@ func AblationAlphaBeta(p Params) (*Table, error) {
 				c.Alpha = a
 				c.Beta = b
 			}}
-			sub, err := normalizedExecTable("", "", p, []Scheme{sch})
+			sub, err := normalizedExecTable(ctx, "", "", p, []Scheme{sch})
 			if err != nil {
 				return nil, err
 			}
@@ -44,7 +45,7 @@ func AblationAlphaBeta(p Params) (*Table, error) {
 
 // AblationBatchSize sweeps the metadata batch size n (the paper picks 16
 // from the burstiness study of Figures 15-16).
-func AblationBatchSize(p Params) (*Table, error) {
+func AblationBatchSize(ctx context.Context, p Params) (*Table, error) {
 	var schemes []Scheme
 	for _, n := range []int{4, 8, 16, 32, 64} {
 		n := n
@@ -56,13 +57,13 @@ func AblationBatchSize(p Params) (*Table, error) {
 			},
 		})
 	}
-	return normalizedExecTable("Ablation A2",
+	return normalizedExecTable(ctx, "Ablation A2",
 		"Batch-size sensitivity of Dynamic+Batching (normalized exec time)",
 		p, schemes)
 }
 
 // AblationBatchTimeout sweeps the partial-batch flush timeout.
-func AblationBatchTimeout(p Params) (*Table, error) {
+func AblationBatchTimeout(ctx context.Context, p Params) (*Table, error) {
 	var schemes []Scheme
 	for _, to := range []uint64{50, 200, 800, 3200} {
 		to := to
@@ -74,7 +75,7 @@ func AblationBatchTimeout(p Params) (*Table, error) {
 			},
 		})
 	}
-	return normalizedExecTable("Ablation A3",
+	return normalizedExecTable(ctx, "Ablation A3",
 		"Flush-timeout sensitivity of Dynamic+Batching (normalized exec time)",
 		p, schemes)
 }
@@ -82,12 +83,12 @@ func AblationBatchTimeout(p Params) (*Table, error) {
 // AblationDecomposition isolates each contribution: Dynamic alone, Batching
 // alone (on top of Private), and both, against the Private baseline. The
 // paper only reports the stacked +Dynamic/+Batching variants.
-func AblationDecomposition(p Params) (*Table, error) {
+func AblationDecomposition(ctx context.Context, p Params) (*Table, error) {
 	batchingOnly := Scheme{Name: "Private+Batching", Mutate: func(c *config.Config) {
 		Private4x.Mutate(c)
 		c.Batching = true
 	}}
-	return normalizedExecTable("Ablation A4",
+	return normalizedExecTable(ctx, "Ablation A4",
 		"Contribution decomposition (normalized exec time)",
 		p, []Scheme{Private4x, Dynamic4x, batchingOnly, Ours4x})
 }
@@ -95,7 +96,7 @@ func AblationDecomposition(p Params) (*Table, error) {
 // AblationOracle bounds the schemes against an idealized always-ready pad
 // table: the residual overhead of Oracle+Batching is the irreducible
 // metadata cost no OTP buffer policy can remove.
-func AblationOracle(p Params) (*Table, error) {
+func AblationOracle(ctx context.Context, p Params) (*Table, error) {
 	oracle := Scheme{Name: "Oracle", Mutate: func(c *config.Config) {
 		c.Secure = true
 		c.Scheme = config.OTPOracle
@@ -105,7 +106,7 @@ func AblationOracle(p Params) (*Table, error) {
 		c.Scheme = config.OTPOracle
 		c.Batching = true
 	}}
-	return normalizedExecTable("Ablation A5",
+	return normalizedExecTable(ctx, "Ablation A5",
 		"Upper bound: idealized pads vs the real schemes (normalized exec time)",
 		p, []Scheme{Private4x, Ours4x, oracle, oracleBatch})
 }
@@ -115,7 +116,7 @@ func AblationOracle(p Params) (*Table, error) {
 // scheme comparison is insensitive to it: both the baseline and the secure
 // schemes pay the same translation cost, so normalized overheads barely
 // move.
-func AblationTLB(p Params) (*Table, error) {
+func AblationTLB(ctx context.Context, p Params) (*Table, error) {
 	withTLB := func(inner func(*config.Config)) func(*config.Config) {
 		return func(c *config.Config) {
 			inner(c)
@@ -127,7 +128,7 @@ func AblationTLB(p Params) (*Table, error) {
 		{Name: "Ours+TLB", Mutate: withTLB(Ours4x.Mutate)},
 	}
 	all := append([]Scheme{{Name: "UnsecureTLB", Mutate: withTLB(Unsecure.Mutate)}}, schemes...)
-	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	grid, specs, err := runGrid(ctx, p, all, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +152,7 @@ func AblationTLB(p Params) (*Table, error) {
 // AblationTopology compares the schemes on a switch-based (NVSwitch-like)
 // fabric against the default point-to-point links: batching's message-count
 // savings matter on both, so the scheme ordering is topology-robust.
-func AblationTopology(p Params) (*Table, error) {
+func AblationTopology(ctx context.Context, p Params) (*Table, error) {
 	sw := func(inner func(*config.Config)) func(*config.Config) {
 		return func(c *config.Config) {
 			inner(c)
@@ -165,7 +166,7 @@ func AblationTopology(p Params) (*Table, error) {
 		{Name: "Ours (switch)", Mutate: sw(Ours4x.Mutate)},
 	}
 	all := append([]Scheme{Unsecure, {Name: "Unsecure (switch)", Mutate: sw(Unsecure.Mutate)}}, schemes...)
-	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	grid, specs, err := runGrid(ctx, p, all, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func AblationTopology(p Params) (*Table, error) {
 // AblationCUFrontEnd compares the flat per-GPU request window against the
 // CU-sharded front-end (64 compute units with per-wavefront windows,
 // Section II-A): the scheme ordering is front-end-robust.
-func AblationCUFrontEnd(p Params) (*Table, error) {
+func AblationCUFrontEnd(ctx context.Context, p Params) (*Table, error) {
 	cus := func(inner func(*config.Config)) func(*config.Config) {
 		return func(c *config.Config) {
 			inner(c)
@@ -211,7 +212,7 @@ func AblationCUFrontEnd(p Params) (*Table, error) {
 		{Name: "Ours (CUs)", Mutate: cus(Ours4x.Mutate)},
 	}
 	all := append([]Scheme{Unsecure, {Name: "Unsecure (CUs)", Mutate: cus(Unsecure.Mutate)}}, schemes...)
-	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	grid, specs, err := runGrid(ctx, p, all, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}

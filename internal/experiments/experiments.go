@@ -7,15 +7,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"secmgpu/internal/config"
 	"secmgpu/internal/machine"
+	"secmgpu/internal/sweep"
 	"secmgpu/internal/workload"
 )
 
@@ -70,6 +71,12 @@ type Params struct {
 	Workloads []string
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Engine executes the runner's sweeps. nil selects a process-wide
+	// shared engine, so identical cells are deduplicated across every
+	// figure run in the process (`secbench -exp all` simulates the
+	// Unsecure baseline once, not sixteen times). Supply a dedicated
+	// engine to isolate a run's cache and observer.
+	Engine *sweep.Engine
 }
 
 // DefaultParams returns the paper's 4-GPU setup at the given scale.
@@ -92,11 +99,19 @@ func (p Params) workloads() ([]workload.Spec, error) {
 	return specs, nil
 }
 
-func (p Params) parallelism() int {
-	if p.Parallelism > 0 {
-		return p.Parallelism
+// defaultEngine backs every Params whose Engine is nil; sharing it across
+// runners is what deduplicates cells between figures.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *sweep.Engine
+)
+
+func (p Params) engine() *sweep.Engine {
+	if p.Engine != nil {
+		return p.Engine
 	}
-	return runtime.GOMAXPROCS(0)
+	defaultEngineOnce.Do(func() { defaultEngine = sweep.New(0) })
+	return defaultEngine
 }
 
 // baseConfig is the Table III system for these params.
@@ -107,60 +122,37 @@ func (p Params) baseConfig() config.Config {
 	return c
 }
 
-// runOne simulates one workload under one concrete config.
-func runOne(spec workload.Spec, cfg config.Config, opt machine.RunOptions) (*machine.Result, error) {
-	traces := make([][]workload.Op, cfg.NumGPUs)
-	for g := 1; g <= cfg.NumGPUs; g++ {
-		traces[g-1] = spec.Trace(g, cfg.NumGPUs, cfg.Scale, cfg.Seed)
-	}
-	sys, err := machine.New(cfg, traces, opt)
+// runCell executes a single simulation through the sweep engine, so even
+// one-off runs (the Figure 13/14 traces) share the result cache.
+func runCell(ctx context.Context, p Params, spec workload.Spec, cfg config.Config, opt machine.RunOptions) (*machine.Result, error) {
+	res, err := p.engine().Run(ctx, []sweep.Cell{{Spec: spec, Cfg: cfg, Opt: opt, Label: spec.Abbr}}, 1)
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	return res[0], nil
 }
 
-// cell identifies one (workload, scheme) simulation in a sweep.
-type cell struct {
-	spec   workload.Spec
-	scheme Scheme
-	cfg    config.Config
-}
-
-// runGrid simulates every (workload x scheme) cell in parallel and returns
-// results indexed [workload][scheme].
-func runGrid(p Params, schemes []Scheme, opt machine.RunOptions) ([][]*machine.Result, []workload.Spec, error) {
+// runGrid sweeps every (workload x scheme) cell through the engine and
+// returns results indexed [workload][scheme].
+func runGrid(ctx context.Context, p Params, schemes []Scheme, opt machine.RunOptions) ([][]*machine.Result, []workload.Spec, error) {
 	specs, err := p.workloads()
 	if err != nil {
 		return nil, nil, err
 	}
-	cells := make([]cell, 0, len(specs)*len(schemes))
+	cells := make([]sweep.Cell, 0, len(specs)*len(schemes))
 	for _, spec := range specs {
 		for _, sch := range schemes {
 			cfg := p.baseConfig()
 			sch.Mutate(&cfg)
-			cells = append(cells, cell{spec: spec, scheme: sch, cfg: cfg})
+			cells = append(cells, sweep.Cell{
+				Spec: spec, Cfg: cfg, Opt: opt,
+				Label: spec.Abbr + " under " + sch.Name,
+			})
 		}
 	}
-
-	results := make([]*machine.Result, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.parallelism())
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = runOne(cells[i].spec, cells[i].cfg, opt)
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s under %s: %w", cells[i].spec.Abbr, cells[i].scheme.Name, err)
-		}
+	results, err := p.engine().Run(ctx, cells, p.Parallelism)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	grid := make([][]*machine.Result, len(specs))

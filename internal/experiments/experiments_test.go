@@ -1,10 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
+
+	"secmgpu/internal/sweep"
 )
+
+// ctx is the default context for runner tests.
+var ctx = context.Background()
 
 // tiny returns fast single-workload parameters for runner tests.
 func tiny() Params {
@@ -59,7 +67,7 @@ func TestNamedSchemeLabels(t *testing.T) {
 }
 
 func TestFig21Runner(t *testing.T) {
-	tab, err := Fig21(tiny())
+	tab, err := Fig21(ctx, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +85,7 @@ func TestFig21Runner(t *testing.T) {
 }
 
 func TestFig10DistributionsSumToOne(t *testing.T) {
-	tab, err := Fig10(tiny())
+	tab, err := Fig10(ctx, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +99,7 @@ func TestFig10DistributionsSumToOne(t *testing.T) {
 }
 
 func TestFig12TrafficBreakdownConsistent(t *testing.T) {
-	tab, err := Fig12(tiny())
+	tab, err := Fig12(ctx, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,8 +116,8 @@ func TestFig12TrafficBreakdownConsistent(t *testing.T) {
 }
 
 func TestFig13And14Series(t *testing.T) {
-	for _, fn := range []func(Params) (*Table, error){Fig13, Fig14} {
-		tab, err := fn(tiny())
+	for _, fn := range []func(context.Context, Params) (*Table, error){Fig13, Fig14} {
+		tab, err := fn(ctx, tiny())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +137,7 @@ func TestFig13And14Series(t *testing.T) {
 }
 
 func TestFig15BucketsMatchPaperLabels(t *testing.T) {
-	tab, err := Fig15(tiny())
+	tab, err := Fig15(ctx, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +154,7 @@ func TestFig15BucketsMatchPaperLabels(t *testing.T) {
 
 func TestFig26RowsAreLatencies(t *testing.T) {
 	p := tiny()
-	tab, err := Fig26(p)
+	tab, err := Fig26(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,13 +211,13 @@ func TestMeanRowSkipsNaN(t *testing.T) {
 func TestParamsUnknownWorkload(t *testing.T) {
 	p := tiny()
 	p.Workloads = []string{"bogus"}
-	if _, err := Fig21(p); err == nil {
+	if _, err := Fig21(ctx, p); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
 func TestAblationDecomposition(t *testing.T) {
-	tab, err := AblationDecomposition(tiny())
+	tab, err := AblationDecomposition(ctx, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,5 +226,89 @@ func TestAblationDecomposition(t *testing.T) {
 	}
 	if !strings.Contains(tab.Columns[2], "Batching") {
 		t.Errorf("columns=%v, want a Private+Batching variant", tab.Columns)
+	}
+}
+
+func TestRegistryCoversAllRunners(t *testing.T) {
+	names := Names()
+	if len(names) != 25 {
+		t.Fatalf("registry has %d experiments, want 25: %v", len(names), names)
+	}
+	reg := Registry()
+	for _, name := range names {
+		if reg[name] == nil {
+			t.Errorf("registry entry %q is nil", name)
+		}
+	}
+	// Registry returns a copy: callers cannot mutate the source of truth.
+	delete(reg, "fig21")
+	if Registry()["fig21"] == nil {
+		t.Error("deleting from a Registry() copy mutated the registry")
+	}
+}
+
+func TestSweepCacheDeduplicatesAcrossFigures(t *testing.T) {
+	p := tiny()
+	p.Engine = sweep.New(2)
+
+	first, err := Fig9(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after9 := p.Engine.Stats()
+	if after9.Simulated == 0 || after9.CacheHits != 0 {
+		t.Fatalf("unexpected stats after first figure: %+v", after9)
+	}
+
+	// Re-running the same figure must perform zero new simulations and
+	// return an identical table.
+	second, err := Fig9(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := p.Engine.Stats()
+	if again.Simulated != after9.Simulated {
+		t.Errorf("second Fig9 simulated %d new cells, want 0", again.Simulated-after9.Simulated)
+	}
+	if again.CacheHits != after9.Cells {
+		t.Errorf("cache hits=%d, want %d", again.CacheHits, after9.Cells)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached rerun differs:\n%s\nvs\n%s", first, second)
+	}
+
+	// Fig10 sweeps the same three schemes (without the Unsecure
+	// baseline), so every one of its cells is already cached.
+	if _, err := Fig10(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	after10 := p.Engine.Stats()
+	if after10.Simulated != again.Simulated {
+		t.Errorf("overlapping Fig10 simulated %d new cells, want 0", after10.Simulated-again.Simulated)
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	p := tiny()
+	p.Engine = sweep.New(1)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig21(cancelled, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if st := p.Engine.Stats(); st.Simulated != 0 {
+		t.Errorf("pre-cancelled run simulated %d cells", st.Simulated)
+	}
+}
+
+func TestDefaultEngineShared(t *testing.T) {
+	p := tiny()
+	if p.engine() != p.engine() {
+		t.Error("nil-Engine params did not share the default engine")
+	}
+	dedicated := sweep.New(1)
+	p.Engine = dedicated
+	if p.engine() != dedicated {
+		t.Error("explicit engine not used")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"secmgpu/internal/config"
@@ -12,9 +13,9 @@ import (
 // normalizedExecTable runs the given schemes plus the unsecure baseline on
 // every workload and reports execution time normalized to unsecure — the
 // format of Figures 8, 9, 21, 24, 25, and 26.
-func normalizedExecTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
+func normalizedExecTable(ctx context.Context, id, title string, p Params, schemes []Scheme) (*Table, error) {
 	all := append([]Scheme{Unsecure}, schemes...)
-	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	grid, specs, err := runGrid(ctx, p, all, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -36,28 +37,28 @@ func normalizedExecTable(id, title string, p Params, schemes []Scheme) (*Table, 
 
 // Fig8 reproduces Figure 8: Private's slowdown in a 4-GPU system as the
 // per-pair OTP buffer allocation grows from 1x to 16x.
-func Fig8(p Params) (*Table, error) {
+func Fig8(ctx context.Context, p Params) (*Table, error) {
 	var schemes []Scheme
 	for _, mult := range []int{1, 2, 4, 8, 16} {
 		schemes = append(schemes, NamedScheme(config.OTPPrivate, mult, false))
 	}
-	return normalizedExecTable("Figure 8",
+	return normalizedExecTable(ctx, "Figure 8",
 		"Performance impact of OTP buffer entries with Private (normalized to unsecure)",
 		p, schemes)
 }
 
 // Fig9 reproduces Figure 9: the prior Private/Shared/Cached schemes at
 // iso-storage OTP 4x.
-func Fig9(p Params) (*Table, error) {
-	return normalizedExecTable("Figure 9",
+func Fig9(ctx context.Context, p Params) (*Table, error) {
+	return normalizedExecTable(ctx, "Figure 9",
 		"Performance overhead by secure communication with OTP 4x (normalized to unsecure)",
 		p, []Scheme{Private4x, Shared4x, Cached4x})
 }
 
 // otpDistTable renders merged hit/partial/miss fractions per scheme and
 // direction — the format of Figures 10 and 22.
-func otpDistTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
-	grid, _, err := runGrid(p, schemes, machine.RunOptions{})
+func otpDistTable(ctx context.Context, id, title string, p Params, schemes []Scheme) (*Table, error) {
+	grid, _, err := runGrid(ctx, p, schemes, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -87,21 +88,21 @@ func otpDistTable(id, title string, p Params, schemes []Scheme) (*Table, error) 
 
 // Fig10 reproduces Figure 10: OTP latency-hiding distribution for the prior
 // schemes in the 4-GPU system.
-func Fig10(p Params) (*Table, error) {
-	return otpDistTable("Figure 10",
+func Fig10(ctx context.Context, p Params) (*Table, error) {
+	return otpDistTable(ctx, "Figure 10",
 		"Distribution of OTP latency hiding (Private/Shared/Cached, OTP 4x)",
 		p, []Scheme{Private4x, Shared4x, Cached4x})
 }
 
 // Fig11 reproduces Figure 11: cumulative overheads of Private 4x — secure
 // communication latency alone, then with security-metadata bandwidth.
-func Fig11(p Params) (*Table, error) {
+func Fig11(ctx context.Context, p Params) (*Table, error) {
 	latencyOnly := Scheme{Name: "+SecureCommu", Mutate: func(c *config.Config) {
 		Private4x.Mutate(c)
 		c.MetadataTraffic = false
 	}}
 	full := Scheme{Name: "+Traffic", Mutate: Private4x.Mutate}
-	return normalizedExecTable("Figure 11",
+	return normalizedExecTable(ctx, "Figure 11",
 		"Execution time with secure communication and metadata considered cumulatively (Private OTP 4x)",
 		p, []Scheme{latencyOnly, full})
 }
@@ -109,17 +110,17 @@ func Fig11(p Params) (*Table, error) {
 // Fig12 reproduces Figure 12: interconnect traffic of the secure system
 // relative to the unsecure baseline, split into data, CPU-memory-protection
 // metadata, and communication-security metadata.
-func Fig12(p Params) (*Table, error) {
-	return trafficTable("Figure 12",
+func Fig12(ctx context.Context, p Params) (*Table, error) {
+	return trafficTable(ctx, "Figure 12",
 		"Communication traffic normalized to the unsecure system (Private OTP 4x)",
 		p, []Scheme{Private4x})
 }
 
 // trafficTable reports, per workload, each scheme's total traffic ratio and
 // the final scheme's breakdown columns.
-func trafficTable(id, title string, p Params, schemes []Scheme) (*Table, error) {
+func trafficTable(ctx context.Context, id, title string, p Params, schemes []Scheme) (*Table, error) {
 	all := append([]Scheme{Unsecure}, schemes...)
-	grid, specs, err := runGrid(p, all, machine.RunOptions{})
+	grid, specs, err := runGrid(ctx, p, all, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -150,17 +151,17 @@ func trafficTable(id, title string, p Params, schemes []Scheme) (*Table, error) 
 
 // Fig13 reproduces Figure 13: the send/receive request mix on GPU 1 over
 // the execution of matrix multiplication.
-func Fig13(p Params) (*Table, error) {
-	return commSeries("Figure 13", p, false)
+func Fig13(ctx context.Context, p Params) (*Table, error) {
+	return commSeries(ctx, "Figure 13", p, false)
 }
 
 // Fig14 reproduces Figure 14: GPU 1's request destinations over the
 // execution of matrix multiplication.
-func Fig14(p Params) (*Table, error) {
-	return commSeries("Figure 14", p, true)
+func Fig14(ctx context.Context, p Params) (*Table, error) {
+	return commSeries(ctx, "Figure 14", p, true)
 }
 
-func commSeries(id string, p Params, byDest bool) (*Table, error) {
+func commSeries(ctx context.Context, id string, p Params, byDest bool) (*Table, error) {
 	spec, err := workload.ByAbbr("mm")
 	if err != nil {
 		return nil, err
@@ -169,7 +170,7 @@ func commSeries(id string, p Params, byDest bool) (*Table, error) {
 	// A short flush period keeps enough intervals even for scaled-down
 	// runs; the figure plots fractions, so the absolute period only sets
 	// the plot's resolution.
-	res, err := runOne(spec, cfg, machine.RunOptions{TraceComms: true, TraceInterval: 2000})
+	res, err := runCell(ctx, p, spec, cfg, machine.RunOptions{TraceComms: true, TraceInterval: 2000})
 	if err != nil {
 		return nil, err
 	}
@@ -193,8 +194,8 @@ func commSeries(id string, p Params, byDest bool) (*Table, error) {
 }
 
 // burstTable renders the Figures 15-16 interval distributions.
-func burstTable(id, title string, p Params, use32 bool) (*Table, error) {
-	grid, specs, err := runGrid(p, []Scheme{Unsecure}, machine.RunOptions{})
+func burstTable(ctx context.Context, id, title string, p Params, use32 bool) (*Table, error) {
+	grid, specs, err := runGrid(ctx, p, []Scheme{Unsecure}, machine.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -220,54 +221,54 @@ func burstTable(id, title string, p Params, use32 bool) (*Table, error) {
 }
 
 // Fig15 reproduces Figure 15: time for 16 data blocks to gather per pair.
-func Fig15(p Params) (*Table, error) {
-	return burstTable("Figure 15",
+func Fig15(ctx context.Context, p Params) (*Table, error) {
+	return burstTable(ctx, "Figure 15",
 		"Ratios of time intervals until 16 data blocks accumulate", p, false)
 }
 
 // Fig16 reproduces Figure 16: time for 32 data blocks to gather per pair.
-func Fig16(p Params) (*Table, error) {
-	return burstTable("Figure 16",
+func Fig16(ctx context.Context, p Params) (*Table, error) {
+	return burstTable(ctx, "Figure 16",
 		"Ratios of time intervals until 32 data blocks accumulate", p, true)
 }
 
 // Fig21 reproduces Figure 21, the headline 4-GPU comparison: Private 4x and
 // 16x, Cached 4x, the Dynamic contribution, and Dynamic+Batching.
-func Fig21(p Params) (*Table, error) {
-	return normalizedExecTable("Figure 21",
+func Fig21(ctx context.Context, p Params) (*Table, error) {
+	return normalizedExecTable(ctx, "Figure 21",
 		"Execution times with 4 GPUs normalized to the unsecure system",
 		p, []Scheme{Private4x, Private16x, Cached4x, Dynamic4x, Ours4x})
 }
 
 // Fig22 reproduces Figure 22: OTP latency-hiding distribution including the
 // proposed scheme.
-func Fig22(p Params) (*Table, error) {
-	return otpDistTable("Figure 22",
+func Fig22(ctx context.Context, p Params) (*Table, error) {
+	return otpDistTable(ctx, "Figure 22",
 		"Distribution of OTP latency hiding (Private/Cached/Ours, OTP 4x)",
 		p, []Scheme{Private4x, Cached4x, Ours4x})
 }
 
 // Fig23 reproduces Figure 23: communication traffic of Private, Cached, and
 // Ours relative to the unsecure system.
-func Fig23(p Params) (*Table, error) {
-	return trafficTable("Figure 23",
+func Fig23(ctx context.Context, p Params) (*Table, error) {
+	return trafficTable(ctx, "Figure 23",
 		"Communication traffic normalized to the unsecure system (OTP 4x)",
 		p, []Scheme{Private4x, Cached4x, Ours4x})
 }
 
 // Fig24 reproduces Figure 24 (8 GPUs); Fig25 reproduces Figure 25 (16
 // GPUs): Private, Cached, and Ours at larger system sizes.
-func Fig24(p Params) (*Table, error) {
+func Fig24(ctx context.Context, p Params) (*Table, error) {
 	p.GPUs = 8
-	return normalizedExecTable("Figure 24",
+	return normalizedExecTable(ctx, "Figure 24",
 		"Execution times with 8 GPUs normalized to the unsecure system",
 		p, []Scheme{Private4x, Cached4x, Ours4x})
 }
 
 // Fig25 is the 16-GPU variant of Fig24.
-func Fig25(p Params) (*Table, error) {
+func Fig25(ctx context.Context, p Params) (*Table, error) {
 	p.GPUs = 16
-	return normalizedExecTable("Figure 25",
+	return normalizedExecTable(ctx, "Figure 25",
 		"Execution times with 16 GPUs normalized to the unsecure system",
 		p, []Scheme{Private4x, Cached4x, Ours4x})
 }
@@ -275,7 +276,7 @@ func Fig25(p Params) (*Table, error) {
 // Fig26 reproduces Figure 26: sensitivity of Private, Cached, and Ours to
 // the AES-GCM latency (10-40 cycles). Rows are latencies; columns are the
 // schemes' average normalized execution times.
-func Fig26(p Params) (*Table, error) {
+func Fig26(ctx context.Context, p Params) (*Table, error) {
 	schemes := []Scheme{Private4x, Cached4x, Ours4x}
 	t := &Table{
 		ID:       "Figure 26",
@@ -295,7 +296,7 @@ func Fig26(p Params) (*Table, error) {
 				c.AESGCMLatency = lat
 			}})
 		}
-		sub, err := normalizedExecTable("", "", p, latSchemes)
+		sub, err := normalizedExecTable(ctx, "", "", p, latSchemes)
 		if err != nil {
 			return nil, err
 		}

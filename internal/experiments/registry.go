@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+)
+
+// Runner reproduces one table or figure. Cancelling ctx stops the sweep
+// between cells and returns ctx.Err().
+type Runner func(ctx context.Context, p Params) (*Table, error)
+
+// registry is the single source of truth for experiment names. The
+// secmgpu.Experiments / secmgpu.RunExperimentContext API and the
+// cmd/secbench registry are views of this map.
+var registry = map[string]Runner{
+	"table1": func(context.Context, Params) (*Table, error) { return Table1(), nil },
+	"table4": func(context.Context, Params) (*Table, error) { return Table4(), nil },
+
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"fig15": Fig15,
+	"fig16": Fig16,
+	"fig21": Fig21,
+	"fig22": Fig22,
+	"fig23": Fig23,
+	"fig24": Fig24,
+	"fig25": Fig25,
+	"fig26": Fig26,
+
+	"ablation-alpha-beta":  AblationAlphaBeta,
+	"ablation-batch-size":  AblationBatchSize,
+	"ablation-timeout":     AblationBatchTimeout,
+	"ablation-decompose":   AblationDecomposition,
+	"ablation-oracle":      AblationOracle,
+	"ablation-tlb":         AblationTLB,
+	"ablation-topology":    AblationTopology,
+	"ablation-cu-frontend": AblationCUFrontEnd,
+}
+
+// Registry returns the experiment runners by name (a fresh copy; mutating
+// it does not affect the package).
+func Registry() map[string]Runner {
+	out := make(map[string]Runner, len(registry))
+	for name, r := range registry {
+		out[name] = r
+	}
+	return out
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -39,6 +39,20 @@ type RunOptions struct {
 	EventLimit uint64
 }
 
+// Canonical returns the options with unset fields replaced by their
+// defaults — the form under which two option values select identical
+// simulation behaviour. New applies it on entry; the sweep engine keys its
+// result cache on it.
+func (o RunOptions) Canonical() RunOptions {
+	if o.TraceInterval == 0 {
+		o.TraceInterval = 10000
+	}
+	if o.EventLimit == 0 {
+		o.EventLimit = 400_000_000
+	}
+	return o
+}
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	// Cycles is the execution time: the cycle the last op retired.
@@ -92,12 +106,7 @@ func New(cfg config.Config, traces [][]workload.Op, opt RunOptions) (*System, er
 	if len(traces) != cfg.NumGPUs {
 		return nil, fmt.Errorf("machine: %d traces for %d GPUs", len(traces), cfg.NumGPUs)
 	}
-	if opt.TraceInterval == 0 {
-		opt.TraceInterval = 10000
-	}
-	if opt.EventLimit == 0 {
-		opt.EventLimit = 400_000_000
-	}
+	opt = opt.Canonical()
 
 	engine := sim.NewEngine()
 	engine.EventLimit = opt.EventLimit

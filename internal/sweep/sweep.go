@@ -1,0 +1,300 @@
+// Package sweep is the shared experiment-execution engine behind every
+// table and figure runner. A sweep is a batch of cells — one simulation
+// each, identified by a (workload, configuration, run options) tuple — and
+// the engine executes them on a bounded worker pool with:
+//
+//   - content-addressed result deduplication: because a simulation is
+//     deterministic in (Config, workload, RunOptions), identical cells
+//     across figures simulate exactly once per engine and every later
+//     request is served from an in-memory cache (`secbench -exp all`
+//     re-uses the Unsecure baseline across nearly every figure);
+//   - in-flight coalescing: a cell requested while an identical cell is
+//     already simulating waits for that run instead of starting another;
+//   - context cancellation: a cancelled context stops dispatching new
+//     cells, lets running simulations finish, and returns ctx.Err();
+//   - per-cell panic recovery: a crashed simulation becomes that cell's
+//     error instead of a process abort;
+//   - a pluggable progress observer (total/done/cached/failed counters and
+//     per-cell durations) whose default is silent.
+//
+// Workers acquire a pool slot before building a cell's traces, so the
+// worker bound limits live goroutines and trace allocations, not just
+// concurrently running simulations.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/workload"
+)
+
+// Cell is one simulation request: a workload under a concrete system
+// configuration and run options.
+type Cell struct {
+	Spec workload.Spec
+	Cfg  config.Config
+	Opt  machine.RunOptions
+	// Label annotates errors and progress events ("mm under Private
+	// (OTP 4x)"); it does not affect the result identity.
+	Label string
+}
+
+func (c Cell) label() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return c.Spec.Abbr
+}
+
+// Key is the canonical identity of a cell's result. Simulations are
+// deterministic in exactly this tuple (the workload abbreviation names the
+// registered Spec; RunOptions is canonicalized so unset fields and their
+// explicit defaults collide), so two cells with equal keys have identical
+// results and the engine simulates only the first.
+type Key struct {
+	Cfg  config.Config
+	Abbr string
+	Opt  machine.RunOptions
+}
+
+// Key returns the cell's canonical cache key.
+func (c Cell) Key() Key {
+	return Key{Cfg: c.Cfg, Abbr: c.Spec.Abbr, Opt: c.Opt.Canonical()}
+}
+
+// Event describes one completed cell and the progress of its sweep.
+type Event struct {
+	// Label identifies the cell.
+	Label string
+	// Cached reports that the result was served from the engine cache
+	// (or coalesced onto an identical in-flight simulation).
+	Cached bool
+	// Err is the cell's failure, nil on success.
+	Err error
+	// Duration is the cell's wall time (near zero for cache hits).
+	Duration time.Duration
+	// Done, Total, CachedCells, and FailedCells are the sweep-local
+	// progress counters after this cell.
+	Done, Total, CachedCells, FailedCells int
+}
+
+// Observer receives one Event per completed cell. Calls are serialized per
+// sweep; a nil observer is silent.
+type Observer func(Event)
+
+// Stats are the engine's cumulative counters across all sweeps.
+type Stats struct {
+	// Cells is the number of cell requests received.
+	Cells int
+	// Simulated is the number of simulations actually executed.
+	Simulated int
+	// CacheHits counts cells served by deduplication instead of a new
+	// simulation (Cells == Simulated + CacheHits for completed sweeps).
+	CacheHits int
+	// Failed is the number of executed simulations that returned an
+	// error (including recovered panics).
+	Failed int
+	// SimTime is the summed wall time of executed simulations.
+	SimTime time.Duration
+}
+
+// Engine executes sweeps on a bounded worker pool and deduplicates results
+// across every sweep it runs. It is safe for concurrent use.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	obs   Observer
+	cache map[Key]*entry
+	stats Stats
+
+	// simulate executes one cell; tests substitute it to inject
+	// failures, panics, and timing probes.
+	simulate func(Cell) (*machine.Result, error)
+}
+
+// entry is one cache slot. done is closed once res/err are final, so
+// identical in-flight requests coalesce by waiting on it.
+type entry struct {
+	done chan struct{}
+	res  *machine.Result
+	err  error
+}
+
+// New returns an engine whose default per-sweep parallelism is workers
+// (<= 0 selects GOMAXPROCS).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:  workers,
+		cache:    make(map[Key]*entry),
+		simulate: Simulate,
+	}
+}
+
+// Observe installs the progress observer (nil silences it again).
+func (e *Engine) Observe(obs Observer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obs = obs
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Simulate executes one cell: build the per-GPU traces, assemble the
+// machine, run it. The engine calls it through a panic guard, so a crash
+// in any layer of the simulator becomes the cell's error.
+func Simulate(c Cell) (*machine.Result, error) {
+	sys, err := machine.New(c.Cfg, workload.Traces(c.Spec, c.Cfg.NumGPUs, c.Cfg.Scale, c.Cfg.Seed), c.Opt)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// Run executes one sweep and returns the results in cell order. Identical
+// cells — within the sweep, across sweeps, or in flight on another sweep —
+// simulate once. parallelism bounds this sweep's workers (<= 0 selects the
+// engine default). On cancellation Run stops dispatching, waits for
+// in-flight cells, and returns ctx.Err(); otherwise the first failed
+// cell's error (annotated with its label) is returned. Results may be
+// shared with other sweeps and must be treated as read-only.
+func (e *Engine) Run(ctx context.Context, cells []Cell, parallelism int) ([]*machine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = e.workers
+	}
+	if parallelism > len(cells) {
+		parallelism = len(cells)
+	}
+
+	e.mu.Lock()
+	obs := e.obs
+	e.mu.Unlock()
+	total := len(cells)
+	var pm sync.Mutex
+	var done, cachedN, failedN int
+	notify := func(c Cell, cached bool, d time.Duration, err error) {
+		pm.Lock()
+		defer pm.Unlock()
+		done++
+		if cached {
+			cachedN++
+		}
+		if err != nil {
+			failedN++
+		}
+		if obs != nil {
+			obs(Event{
+				Label: c.label(), Cached: cached, Err: err, Duration: d,
+				Done: done, Total: total, CachedCells: cachedN, FailedCells: failedN,
+			})
+		}
+	}
+
+	results := make([]*machine.Result, total)
+	errs := make([]error, total)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain the queue without simulating
+				}
+				start := time.Now()
+				res, cached, err := e.cell(ctx, cells[i])
+				results[i], errs[i] = res, err
+				if err == nil || ctx.Err() == nil {
+					notify(cells[i], cached, time.Since(start), err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].label(), err)
+		}
+	}
+	return results, nil
+}
+
+// protect runs one simulation under a panic guard: a crash in any layer
+// of the simulator becomes that cell's error instead of a process abort.
+func protect(sim func(Cell) (*machine.Result, error), c Cell) (res *machine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulation panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return sim(c)
+}
+
+// cell resolves one cell: serve it from the cache, wait on an identical
+// in-flight simulation, or execute it and publish the outcome.
+func (e *Engine) cell(ctx context.Context, c Cell) (*machine.Result, bool, error) {
+	k := c.Key()
+	e.mu.Lock()
+	e.stats.Cells++
+	if ent, ok := e.cache[k]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		e.mu.Lock()
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		return ent.res, true, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[k] = ent
+	e.mu.Unlock()
+
+	start := time.Now()
+	ent.res, ent.err = protect(e.simulate, c)
+	dur := time.Since(start)
+	close(ent.done)
+
+	e.mu.Lock()
+	e.stats.Simulated++
+	e.stats.SimTime += dur
+	if ent.err != nil {
+		e.stats.Failed++
+	}
+	e.mu.Unlock()
+	return ent.res, false, ent.err
+}

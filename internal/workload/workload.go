@@ -141,6 +141,17 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Traces builds the full per-GPU trace set for one simulation of spec on a
+// numGPUs system: traces[g-1] is GPU g's op stream. It is the single trace
+// builder behind secmgpu.Run and the sweep engine.
+func Traces(spec Spec, numGPUs int, scale float64, seed int64) [][]Op {
+	traces := make([][]Op, numGPUs)
+	for g := 1; g <= numGPUs; g++ {
+		traces[g-1] = spec.Trace(g, numGPUs, scale, seed)
+	}
+	return traces
+}
+
 // Trace generates the remote-op stream for one GPU (1-based GPU id) in a
 // numGPUs system. scale multiplies the op count; seed drives all
 // randomness deterministically.

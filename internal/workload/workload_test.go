@@ -212,3 +212,20 @@ func TestTraceValidityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTracesMatchesPerGPUTrace(t *testing.T) {
+	spec, err := ByAbbr("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := Traces(spec, 4, 0.05, 7)
+	if len(traces) != 4 {
+		t.Fatalf("traces for %d GPUs, want 4", len(traces))
+	}
+	for g := 1; g <= 4; g++ {
+		want := spec.Trace(g, 4, 0.05, 7)
+		if !reflect.DeepEqual(traces[g-1], want) {
+			t.Errorf("Traces()[%d] differs from Spec.Trace(%d, ...)", g-1, g)
+		}
+	}
+}

@@ -31,6 +31,7 @@
 package secmgpu
 
 import (
+	"context"
 	"fmt"
 
 	"secmgpu/internal/config"
@@ -102,11 +103,7 @@ func Run(cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	traces := make([][]workload.Op, cfg.NumGPUs)
-	for g := 1; g <= cfg.NumGPUs; g++ {
-		traces[g-1] = spec.Trace(g, cfg.NumGPUs, cfg.Scale, cfg.Seed)
-	}
-	sys, err := machine.New(cfg, traces, opt)
+	sys, err := machine.New(cfg, workload.Traces(spec, cfg.NumGPUs, cfg.Scale, cfg.Seed), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -137,72 +134,28 @@ type ExperimentParams = experiments.Params
 type ExperimentTable = experiments.Table
 
 // Experiments returns the available experiment names (tables and figures
-// of the paper plus the repository's ablations).
-func Experiments() []string {
-	return []string{
-		"table1", "table4",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
-		"ablation-alpha-beta", "ablation-batch-size", "ablation-timeout", "ablation-decompose", "ablation-oracle", "ablation-tlb", "ablation-topology", "ablation-cu-frontend",
-	}
+// of the paper plus the repository's ablations), sorted. The list is a
+// view of the experiments registry, the same source of truth behind
+// RunExperimentContext and cmd/secbench.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment reproduces one table or figure by name without
+// cancellation support; see RunExperimentContext.
+func RunExperiment(name string, p ExperimentParams) (*ExperimentTable, error) {
+	return RunExperimentContext(context.Background(), name, p)
 }
 
-// RunExperiment reproduces one table or figure by name.
-func RunExperiment(name string, p ExperimentParams) (*ExperimentTable, error) {
-	switch name {
-	case "table1":
-		return experiments.Table1(), nil
-	case "table4":
-		return experiments.Table4(), nil
-	case "fig8":
-		return experiments.Fig8(p)
-	case "fig9":
-		return experiments.Fig9(p)
-	case "fig10":
-		return experiments.Fig10(p)
-	case "fig11":
-		return experiments.Fig11(p)
-	case "fig12":
-		return experiments.Fig12(p)
-	case "fig13":
-		return experiments.Fig13(p)
-	case "fig14":
-		return experiments.Fig14(p)
-	case "fig15":
-		return experiments.Fig15(p)
-	case "fig16":
-		return experiments.Fig16(p)
-	case "fig21":
-		return experiments.Fig21(p)
-	case "fig22":
-		return experiments.Fig22(p)
-	case "fig23":
-		return experiments.Fig23(p)
-	case "fig24":
-		return experiments.Fig24(p)
-	case "fig25":
-		return experiments.Fig25(p)
-	case "fig26":
-		return experiments.Fig26(p)
-	case "ablation-alpha-beta":
-		return experiments.AblationAlphaBeta(p)
-	case "ablation-batch-size":
-		return experiments.AblationBatchSize(p)
-	case "ablation-timeout":
-		return experiments.AblationBatchTimeout(p)
-	case "ablation-decompose":
-		return experiments.AblationDecomposition(p)
-	case "ablation-oracle":
-		return experiments.AblationOracle(p)
-	case "ablation-tlb":
-		return experiments.AblationTLB(p)
-	case "ablation-topology":
-		return experiments.AblationTopology(p)
-	case "ablation-cu-frontend":
-		return experiments.AblationCUFrontEnd(p)
-	default:
-		return nil, fmt.Errorf("secmgpu: unknown experiment %q", name)
+// RunExperimentContext reproduces one table or figure by name. Cancelling
+// ctx stops the underlying sweep between simulations and returns ctx's
+// error. Identical (workload, config, options) cells are simulated once
+// per process and served from the sweep engine's cache afterwards; supply
+// p.Engine to isolate or observe a run.
+func RunExperimentContext(ctx context.Context, name string, p ExperimentParams) (*ExperimentTable, error) {
+	runner, ok := experiments.Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("secmgpu: unknown experiment %q (known: %v)", name, experiments.Names())
 	}
+	return runner(ctx, p)
 }
 
 // DefaultExperimentParams returns 4-GPU parameters at the given workload

@@ -1,8 +1,14 @@
 package secmgpu
 
 import (
+	"context"
+	"errors"
+	"sort"
 	"strings"
 	"testing"
+
+	"secmgpu/internal/experiments"
+	"secmgpu/internal/sweep"
 )
 
 func smallConfig(gpus int) Config {
@@ -128,5 +134,49 @@ func TestExperimentsRegistry(t *testing.T) {
 	}
 	if _, err := RunExperiment("nope", p); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestExperimentNamesAgreeAcrossViews pins the single-source-of-truth
+// property: the public name list, the public runner lookup, and the
+// secbench registry (all views of experiments.Registry) expose exactly the
+// same experiments.
+func TestExperimentNamesAgreeAcrossViews(t *testing.T) {
+	lib := Experiments()
+	if !sort.StringsAreSorted(lib) {
+		t.Errorf("Experiments() not sorted: %v", lib)
+	}
+	reg := experiments.Registry()
+	if len(lib) != len(reg) {
+		t.Fatalf("Experiments() has %d names, registry has %d", len(lib), len(reg))
+	}
+	p := DefaultExperimentParams(0.02)
+	p.Workloads = []string{"mm"}
+	// A pre-cancelled context exercises every name's lookup without
+	// paying for the simulations: resolution failure would report
+	// "unknown experiment" rather than the context error.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range lib {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("experiment %q advertised but not in registry", name)
+		}
+		if _, err := RunExperimentContext(cancelled, name, p); err != nil && strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("RunExperimentContext does not resolve advertised experiment %q", name)
+		}
+	}
+}
+
+func TestRunExperimentContextCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := DefaultExperimentParams(0.02)
+	p.Workloads = []string{"mm"}
+	p.Engine = sweep.New(1)
+	if _, err := RunExperimentContext(cancelled, "fig21", p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if st := p.Engine.Stats(); st.Simulated != 0 {
+		t.Errorf("cancelled experiment simulated %d cells", st.Simulated)
 	}
 }
