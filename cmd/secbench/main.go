@@ -65,6 +65,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	quiet := flag.Bool("quiet", false, "disable the live progress line")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-simulation wall-time bound (0 = unbounded); an exceeded cell fails instead of hanging the sweep")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -77,6 +78,7 @@ func main() {
 	defer stop()
 
 	engine := sweep.New(*par)
+	engine.SetCellTimeout(*cellTimeout)
 	rep := &reporter{}
 	if !*quiet {
 		engine.Observe(rep.observe)

@@ -29,6 +29,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	aesLat := flag.Uint64("aes-latency", 40, "AES-GCM latency in cycles")
 	functional := flag.Bool("functional", false, "run real encryption and MAC verification")
+	dropRate := flag.Float64("drop-rate", 0, "per-link probability of losing a protected message in flight")
+	corruptRate := flag.Float64("corrupt-rate", 0, "per-link probability of corrupting a protected message in flight")
+	dupRate := flag.Float64("dup-rate", 0, "per-link probability of duplicating a protected message in flight")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault profile's per-link generators")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -52,6 +56,12 @@ func main() {
 	cfg.OTPMultiplier = *otpMult
 	cfg.AESGCMLatency = *aesLat
 	cfg.Batching = *batching
+	cfg.Faults = secmgpu.FaultProfile{
+		DropRate:      *dropRate,
+		CorruptRate:   *corruptRate,
+		DuplicateRate: *dupRate,
+		Seed:          *faultSeed,
+	}
 	switch strings.ToLower(*schemeName) {
 	case "unsecure":
 		cfg.Secure = false
@@ -129,6 +139,14 @@ func main() {
 	if *functional {
 		fmt.Printf("crypto            %d blocks verified, %d failures\n",
 			res.Sec.DecryptOK, res.Sec.DecryptFailed)
+	}
+	if cfg.Faults.Active() {
+		fmt.Printf("fabric faults     %d dropped, %d corrupted, %d duplicated\n",
+			tr.FaultDropped, tr.FaultCorrupted, tr.FaultDuplicated)
+		fmt.Printf("recovery          %d retransmits, %d ack timeouts, %d NACKs sent, %d quarantined\n",
+			res.Sec.Retransmits, res.Sec.AckTimeouts, res.Sec.NACKsSent, res.Sec.Quarantined)
+		fmt.Printf("poisoned          %d batches, %d blocks, %d failed ops\n",
+			res.Sec.BatchesPoisoned, res.Sec.BlocksPoisoned, res.FailedOps)
 	}
 }
 

@@ -48,17 +48,68 @@ func (k Kind) String() string {
 	}
 }
 
+// Target selects which protocol message class a script attacks. Beyond the
+// data blocks themselves, the adversary of Section II-B can also manipulate
+// the protection mechanism's own traffic: the replay-protection feedback
+// (ACKs/NACKs) and the standalone Batched_MsgMAC packets.
+type Target int
+
+const (
+	// TargetData attacks data-bearing blocks (responses, writes, migration
+	// chunks).
+	TargetData Target = iota
+	// TargetSecACK attacks the replay-protection acknowledgment stream
+	// (SecACK and SecNACK feedback).
+	TargetSecACK
+	// TargetBatchMAC attacks standalone Batched_MsgMAC messages.
+	TargetBatchMAC
+)
+
+// String names the target class.
+func (t Target) String() string {
+	switch t {
+	case TargetData:
+		return "data"
+	case TargetSecACK:
+		return "sec-ack"
+	case TargetBatchMAC:
+		return "batch-mac"
+	default:
+		return "unknown"
+	}
+}
+
+// matches reports whether the message belongs to the target class.
+func (t Target) matches(msg *interconnect.Message) bool {
+	switch t {
+	case TargetData:
+		return carriesData(msg)
+	case TargetSecACK:
+		return msg.Kind == interconnect.KindSecACK || msg.Kind == interconnect.KindSecNACK
+	case TargetBatchMAC:
+		return msg.Kind == interconnect.KindBatchMAC
+	default:
+		return false
+	}
+}
+
 // Script decides, per delivered message, which attack (if any) to apply.
 type Script func(msg *interconnect.Message) (Kind, bool)
 
 // EveryNth attacks every nth data-bearing message with the given kind.
 func EveryNth(n int, kind Kind) Script {
+	return EveryNthOf(n, kind, TargetData)
+}
+
+// EveryNthOf attacks every nth message of the target class with the given
+// kind.
+func EveryNthOf(n int, kind Kind, target Target) Script {
 	if n < 1 {
 		panic("attack: n must be positive")
 	}
 	count := 0
 	return func(msg *interconnect.Message) (Kind, bool) {
-		if !carriesData(msg) {
+		if !target.matches(msg) {
 			return 0, false
 		}
 		count++
@@ -72,15 +123,37 @@ func EveryNth(n int, kind Kind) Script {
 // RandomMix attacks data messages with probability p, choosing uniformly
 // among the given kinds using the seeded generator.
 func RandomMix(p float64, seed int64, kinds ...Kind) Script {
+	return RandomMixOf(p, seed, TargetData, kinds...)
+}
+
+// RandomMixOf attacks messages of the target class with probability p,
+// choosing uniformly among the given kinds using the seeded generator.
+func RandomMixOf(p float64, seed int64, target Target, kinds ...Kind) Script {
 	if len(kinds) == 0 || p < 0 || p > 1 {
 		panic("attack: RandomMix needs kinds and p in [0,1]")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return func(msg *interconnect.Message) (Kind, bool) {
-		if !carriesData(msg) || rng.Float64() >= p {
+		if !target.matches(msg) || rng.Float64() >= p {
 			return 0, false
 		}
 		return kinds[rng.Intn(len(kinds))], true
+	}
+}
+
+// Any combines scripts: the first one that fires wins, so independent
+// scripts can cover different target classes on the same link.
+func Any(scripts ...Script) Script {
+	if len(scripts) == 0 {
+		panic("attack: Any needs at least one script")
+	}
+	return func(msg *interconnect.Message) (Kind, bool) {
+		for _, s := range scripts {
+			if kind, hit := s(msg); hit {
+				return kind, true
+			}
+		}
+		return 0, false
 	}
 }
 
@@ -100,6 +173,26 @@ type Stats struct {
 	MACForged uint64
 	Replayed  uint64
 	Dropped   uint64
+
+	// Per-class attack counts: which protocol stream the hits landed on.
+	DataAttacked     uint64
+	ACKsAttacked     uint64
+	BatchMACAttacked uint64
+	OtherAttacked    uint64
+}
+
+// noteHit classifies one attacked message into the per-class counters.
+func (s *Stats) noteHit(msg *interconnect.Message) {
+	switch {
+	case TargetData.matches(msg):
+		s.DataAttacked++
+	case TargetSecACK.matches(msg):
+		s.ACKsAttacked++
+	case TargetBatchMAC.matches(msg):
+		s.BatchMACAttacked++
+	default:
+		s.OtherAttacked++
+	}
 }
 
 // Injector is a man-in-the-middle on one node's delivery path. It
@@ -132,6 +225,7 @@ func (in *Injector) Deliver(now sim.Cycle, msg *interconnect.Message) {
 		in.inner.Deliver(now, msg)
 		return
 	}
+	in.stats.noteHit(msg)
 	switch kind {
 	case TamperCiphertext:
 		in.stats.Tampered++

@@ -148,10 +148,69 @@ type Config struct {
 	// evenly among the CUs.
 	CUsPerGPU int
 
+	// Faults injects seeded per-link loss/corruption/duplication into the
+	// fabric's secure-channel traffic (the robustness experiments). The
+	// zero value is a perfect fabric.
+	Faults FaultProfile
+
+	// Recovery enables the secure channel's NACK/retransmission protocol:
+	// per-batch ACK timers with bounded retries, receiver-side stale-batch
+	// NACKs, and batch poisoning after max retries. It is required for a
+	// secure system to make progress on a lossy fabric and is a behavioral
+	// no-op on a perfect one (timers never fire).
+	Recovery bool
+	// RetransTimeout is the sender's base ACK timeout in cycles; retries
+	// back off exponentially from it.
+	RetransTimeout uint64
+	// RetransMaxRetries bounds retransmission attempts per batch before it
+	// is poisoned.
+	RetransMaxRetries int
+	// StaleBatchTimeout is how long the receiver holds an incomplete batch
+	// before NACKing and abandoning it.
+	StaleBatchTimeout uint64
+
 	// Seed drives all workload randomness; runs are fully deterministic.
 	Seed int64
 	// Scale multiplies workload op counts (1.0 = full evaluation size).
 	Scale float64
+}
+
+// FaultProfile models a lossy interconnect: every secure-channel message
+// (one carrying a security envelope — data blocks, SecACKs/NACKs, and
+// Batched_MsgMACs) is independently dropped, corrupted, or duplicated with
+// the given per-message probabilities. Faults are drawn from a per-link
+// generator seeded by (Seed, src, dst), so runs are fully deterministic and
+// each link's fault sequence is independent of the others. The struct is a
+// flat value so Config stays comparable (the sweep cache keys on it).
+type FaultProfile struct {
+	// DropRate is the probability a message vanishes from the wire.
+	DropRate float64
+	// CorruptRate is the probability a message's payload is flipped.
+	CorruptRate float64
+	// DuplicateRate is the probability a second copy arrives later.
+	DuplicateRate float64
+	// Seed drives the per-link fault generators.
+	Seed int64
+}
+
+// Active reports whether the profile injects any faults.
+func (f FaultProfile) Active() bool {
+	return f.DropRate > 0 || f.CorruptRate > 0 || f.DuplicateRate > 0
+}
+
+// Validate reports the first fault-profile error found.
+func (f FaultProfile) Validate() error {
+	switch {
+	case f.DropRate < 0 || f.DropRate > 1:
+		return fmt.Errorf("config: fault DropRate %v outside [0,1]", f.DropRate)
+	case f.CorruptRate < 0 || f.CorruptRate > 1:
+		return fmt.Errorf("config: fault CorruptRate %v outside [0,1]", f.CorruptRate)
+	case f.DuplicateRate < 0 || f.DuplicateRate > 1:
+		return fmt.Errorf("config: fault DuplicateRate %v outside [0,1]", f.DuplicateRate)
+	case f.DropRate+f.CorruptRate+f.DuplicateRate > 1:
+		return fmt.Errorf("config: fault rates sum to %v > 1", f.DropRate+f.CorruptRate+f.DuplicateRate)
+	}
+	return nil
 }
 
 // Default returns the Table III configuration for the given GPU count with
@@ -182,6 +241,10 @@ func Default(numGPUs int) Config {
 		BlockSize:           64,
 		PageSize:            4096,
 		MigrationThreshold:  64,
+		Recovery:            true,
+		RetransTimeout:      50_000,
+		RetransMaxRetries:   6,
+		StaleBatchTimeout:   25_000,
 		Seed:                1,
 		Scale:               1.0,
 	}
@@ -212,8 +275,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: PageSize %d must be a positive multiple of BlockSize %d", c.PageSize, c.BlockSize)
 	case c.Scale <= 0:
 		return fmt.Errorf("config: Scale %v must be positive", c.Scale)
+	case c.Recovery && (c.RetransTimeout == 0 || c.RetransMaxRetries < 1 || c.StaleBatchTimeout == 0):
+		return fmt.Errorf("config: Recovery needs positive RetransTimeout, RetransMaxRetries, and StaleBatchTimeout")
+	case c.Faults.Active() && c.Secure && !c.Recovery:
+		return fmt.Errorf("config: a secure system on a lossy fabric needs Recovery (dropped blocks would deadlock the run)")
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // NumProcessors is the total processor count: the GPUs plus the host CPU.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"secmgpu/internal/crypto"
 	"secmgpu/internal/sim"
@@ -111,6 +112,16 @@ func (b *Batcher) OpenCount() int {
 // OpenCount() > 0.
 func (b *Batcher) OpenedAt() sim.Cycle { return b.openedAt }
 
+// AllocID reserves a fresh batch identity outside the open batch. The
+// retransmission path uses it to re-send a lost batch under a new ID (and
+// fresh counters), so the copy never collides with the receiver's state for
+// the original.
+func (b *Batcher) AllocID() uint64 {
+	id := b.nextID
+	b.nextID++
+	return id
+}
+
 func (b *Batcher) close() *ClosedBatch {
 	cb := &ClosedBatch{BatchID: b.id, Len: b.count, MAC: BatchMAC(b.gen, b.macs)}
 	b.open = false
@@ -118,12 +129,21 @@ func (b *Batcher) close() *ClosedBatch {
 }
 
 // BatchMAC computes the Batched_MsgMAC over concatenated per-block MsgMACs
-// (Formula 5). With a nil generator it returns a length-tagged placeholder
-// so timing-only runs still exercise mismatch handling.
+// (Formula 5). With a nil generator it returns a length-tagged XOR fold of
+// the input, so timing-only runs still detect both length mismatches and
+// flipped per-block MACs (the fault profile flips a receiver-side MAC byte
+// to model corruption without real ciphertext).
 func BatchMAC(gen *crypto.PadGenerator, concatenated []byte) [crypto.MACBytes]byte {
 	var out [crypto.MACBytes]byte
 	if gen == nil {
-		binary.BigEndian.PutUint32(out[:4], uint32(len(concatenated)))
+		for i, b := range concatenated {
+			out[i%crypto.MACBytes] ^= b
+		}
+		var ln [4]byte
+		binary.BigEndian.PutUint32(ln[:], uint32(len(concatenated)))
+		for i, b := range ln {
+			out[4+i] ^= b
+		}
 		return out
 	}
 	digest := gen.Digest(concatenated)
@@ -132,25 +152,48 @@ func BatchMAC(gen *crypto.PadGenerator, concatenated []byte) [crypto.MACBytes]by
 }
 
 // MACStore is the receiver-side MsgMAC storage of Figure 20 for one source.
-// Because delivery within a (source, destination) pair is FIFO, at most one
-// batch is filling at a time, but the Batched_MsgMAC may arrive before or
-// after the final block, and a timeout-flushed batch may close early; the
-// store handles every interleaving.
+// On a perfect FIFO channel at most one batch fills at a time, but a lossy
+// or adversarial fabric interleaves arbitrarily: blocks vanish (leaving
+// index holes), a retransmitted batch overlaps the remains of its original,
+// and a Batched_MsgMAC may arrive before, after, or instead of its blocks.
+// The store therefore holds multiple index-addressed filling batches keyed
+// by batch ID, and exposes an expiry scan so stale incomplete batches are
+// reported (for NACKing) instead of hoarded.
 type MACStore struct {
 	capacity int
 	gen      *crypto.PadGenerator
 
-	batchID uint64
-	started bool
-	macs    []byte
-	count   int
+	filling map[uint64]*fillingBatch
+	used    int // MAC slots held across all filling batches
 
+	verified    uint64
+	failed      uint64
+	dropped     uint64
+	quarantined uint64
+}
+
+// fillingBatch is one partially received batch.
+type fillingBatch struct {
+	macs     []byte // index-addressed concatenated per-block MsgMACs
+	have     []bool
+	count    int  // distinct blocks stored
+	overflow bool // a block found the store full; the batch cannot verify
+	openedAt sim.Cycle
 	// pending holds a Batched_MsgMAC that arrived ahead of its blocks.
 	pending *ClosedBatch
+}
 
-	verified uint64
-	failed   uint64
-	dropped  uint64
+// completeFor reports whether every block index in [0, n) is stored.
+func (b *fillingBatch) completeFor(n int) bool {
+	if b.count < n || len(b.have) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !b.have[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // VerifyResult reports a completed batch verification.
@@ -160,67 +203,125 @@ type VerifyResult struct {
 	OK      bool
 }
 
+// ExpiredBatch reports one incomplete batch abandoned by Expire.
+type ExpiredBatch struct {
+	BatchID uint64
+	// Received is how many blocks had arrived (and, under lazy
+	// verification, were already consumed unverified).
+	Received int
+}
+
 // NewMACStore creates a receiver-side store holding up to capacity per-block
 // MACs (the paper's max(16,64) x 8B per peer).
 func NewMACStore(capacity int, gen *crypto.PadGenerator) *MACStore {
 	if capacity < 1 {
 		panic("core: MAC store capacity must be positive")
 	}
-	return &MACStore{capacity: capacity, gen: gen}
+	return &MACStore{capacity: capacity, gen: gen, filling: make(map[uint64]*fillingBatch)}
+}
+
+// batch returns the filling batch for id, creating it if needed.
+func (s *MACStore) batch(now sim.Cycle, id uint64) *fillingBatch {
+	b, ok := s.filling[id]
+	if !ok {
+		b = &fillingBatch{openedAt: now}
+		s.filling[id] = b
+	}
+	return b
 }
 
 // OnBlock records the locally computed MsgMAC for a received block. If the
 // batch's Batched_MsgMAC already arrived and this block completes it, the
 // verification result is returned.
-func (s *MACStore) OnBlock(tag BlockTag, mac [crypto.MACBytes]byte) *VerifyResult {
-	if !s.started || tag.BatchID != s.batchID {
-		// A new batch implicitly retires any stale unfinished one
-		// (possible only after a resynchronizing fault; count it).
-		if s.started && s.count > 0 {
-			s.dropped++
-		}
-		s.started = true
-		s.batchID = tag.BatchID
-		s.macs = s.macs[:0]
-		s.count = 0
-	}
-	if s.count >= s.capacity {
-		// Storage exhausted: verification for this batch is abandoned.
-		s.dropped++
+func (s *MACStore) OnBlock(now sim.Cycle, tag BlockTag, mac [crypto.MACBytes]byte) *VerifyResult {
+	b := s.batch(now, tag.BatchID)
+	if tag.Index < len(b.have) && b.have[tag.Index] {
+		// A duplicated block; the slot is already filled.
 		return nil
 	}
-	s.macs = append(s.macs, mac[:]...)
-	s.count++
-	if s.pending != nil && s.pending.BatchID == tag.BatchID && s.count == s.pending.Len {
-		cb := s.pending
-		s.pending = nil
-		return s.finish(cb)
+	if s.used >= s.capacity {
+		// Storage exhausted: verification for this batch is abandoned (it
+		// will be NACKed or expired, never completed).
+		s.dropped++
+		b.overflow = true
+		return nil
+	}
+	for len(b.have) <= tag.Index {
+		b.have = append(b.have, false)
+		b.macs = append(b.macs, make([]byte, crypto.MACBytes)...)
+	}
+	b.have[tag.Index] = true
+	copy(b.macs[tag.Index*crypto.MACBytes:], mac[:])
+	b.count++
+	s.used++
+	if b.pending != nil && !b.overflow && b.completeFor(b.pending.Len) {
+		return s.finish(tag.BatchID, b, b.pending)
 	}
 	return nil
 }
 
 // OnBatchMAC receives the Batched_MsgMAC. If all covered blocks are already
 // stored the verification result is returned; otherwise it is held until
-// the final block arrives.
-func (s *MACStore) OnBatchMAC(cb *ClosedBatch) *VerifyResult {
-	if s.started && cb.BatchID == s.batchID && s.count >= cb.Len {
-		return s.finish(cb)
+// the final block arrives. A duplicate for a batch whose Batched_MsgMAC is
+// already held is ignored.
+func (s *MACStore) OnBatchMAC(now sim.Cycle, cb *ClosedBatch) *VerifyResult {
+	b := s.batch(now, cb.BatchID)
+	if b.pending != nil {
+		return nil
 	}
-	s.pending = cb
+	if !b.overflow && b.completeFor(cb.Len) {
+		return s.finish(cb.BatchID, b, cb)
+	}
+	b.pending = cb
 	return nil
 }
 
-func (s *MACStore) finish(cb *ClosedBatch) *VerifyResult {
-	ok := BatchMAC(s.gen, s.macs[:cb.Len*crypto.MACBytes]) == cb.MAC
+func (s *MACStore) finish(id uint64, b *fillingBatch, cb *ClosedBatch) *VerifyResult {
+	ok := BatchMAC(s.gen, b.macs[:cb.Len*crypto.MACBytes]) == cb.MAC
 	if ok {
 		s.verified++
 	} else {
 		s.failed++
+		// Lazy verification already delivered every covered block.
+		s.quarantined += uint64(cb.Len)
 	}
-	s.started = false
-	s.count = 0
-	s.macs = s.macs[:0]
+	s.used -= b.count
+	delete(s.filling, id)
 	return &VerifyResult{BatchID: cb.BatchID, Len: cb.Len, OK: ok}
+}
+
+// Expire abandons every incomplete batch older than maxAge, returning them
+// in batch-ID order so callers can NACK deterministically. The blocks such
+// a batch did deliver are counted as quarantined: lazy verification handed
+// them to the node before the batch could be checked.
+func (s *MACStore) Expire(now sim.Cycle, maxAge sim.Cycle) []ExpiredBatch {
+	var out []ExpiredBatch
+	for id, b := range s.filling {
+		if b.openedAt+maxAge > now {
+			continue
+		}
+		out = append(out, ExpiredBatch{BatchID: id, Received: b.count})
+		s.dropped++
+		s.quarantined += uint64(b.count)
+		s.used -= b.count
+		delete(s.filling, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BatchID < out[j].BatchID })
+	return out
+}
+
+// Filling returns the number of incomplete batches currently held.
+func (s *MACStore) Filling() int { return len(s.filling) }
+
+// OldestOpenedAt returns the open time of the oldest filling batch, or
+// ok=false when none is filling.
+func (s *MACStore) OldestOpenedAt() (oldest sim.Cycle, ok bool) {
+	for _, b := range s.filling {
+		if !ok || b.openedAt < oldest {
+			oldest, ok = b.openedAt, true
+		}
+	}
+	return oldest, ok
 }
 
 // Verified returns the count of successfully verified batches.
@@ -229,5 +330,9 @@ func (s *MACStore) Verified() uint64 { return s.verified }
 // Failed returns the count of batches whose Batched_MsgMAC mismatched.
 func (s *MACStore) Failed() uint64 { return s.failed }
 
-// Dropped returns batches abandoned due to capacity or resync faults.
+// Dropped returns batches abandoned due to capacity pressure or expiry.
 func (s *MACStore) Dropped() uint64 { return s.dropped }
+
+// Quarantined returns blocks that lazy verification delivered to the node
+// before their batch failed or was abandoned.
+func (s *MACStore) Quarantined() uint64 { return s.quarantined }

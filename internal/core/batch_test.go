@@ -102,11 +102,11 @@ func TestBatchMACRoundTrip(t *testing.T) {
 	}
 	// Blocks arrive in order, then the batch MAC.
 	for i, tag := range tags {
-		if res := s.OnBlock(tag, mac(i)); res != nil {
+		if res := s.OnBlock(100, tag, mac(i)); res != nil {
 			t.Fatalf("verification fired before batch MAC arrived: %+v", res)
 		}
 	}
-	res := s.OnBatchMAC(closed)
+	res := s.OnBatchMAC(100, closed)
 	if res == nil || !res.OK || res.Len != 3 {
 		t.Fatalf("verification=%+v, want OK over 3 blocks", res)
 	}
@@ -128,12 +128,12 @@ func TestBatchMACArrivesBeforeLastBlock(t *testing.T) {
 			closed = c
 		}
 	}
-	s.OnBlock(tags[0], mac(0))
-	if res := s.OnBatchMAC(closed); res != nil {
+	s.OnBlock(100, tags[0], mac(0))
+	if res := s.OnBatchMAC(100, closed); res != nil {
 		t.Fatalf("verified with only 1/3 blocks: %+v", res)
 	}
-	s.OnBlock(tags[1], mac(1))
-	res := s.OnBlock(tags[2], mac(2))
+	s.OnBlock(100, tags[1], mac(1))
+	res := s.OnBlock(100, tags[2], mac(2))
 	if res == nil || !res.OK {
 		t.Fatalf("final block did not trigger verification: %+v", res)
 	}
@@ -145,9 +145,9 @@ func TestBatchMACDetectsTampering(t *testing.T) {
 	s := NewMACStore(64, gen)
 	tag0, _ := b.Add(100, mac(0))
 	tag1, closed := b.Add(100, mac(1))
-	s.OnBlock(tag0, mac(0))
-	s.OnBlock(tag1, mac(99)) // receiver computes a different MAC for block 1
-	res := s.OnBatchMAC(closed)
+	s.OnBlock(100, tag0, mac(0))
+	s.OnBlock(100, tag1, mac(99)) // receiver computes a different MAC for block 1
+	res := s.OnBatchMAC(100, closed)
 	if res == nil || res.OK {
 		t.Fatalf("tampered batch verified: %+v", res)
 	}
@@ -159,21 +159,56 @@ func TestBatchMACDetectsTampering(t *testing.T) {
 func TestMACStoreCapacityDrops(t *testing.T) {
 	s := NewMACStore(2, nil)
 	for i := 0; i < 4; i++ {
-		s.OnBlock(BlockTag{BatchID: 0, Index: i}, mac(i))
+		s.OnBlock(100, BlockTag{BatchID: 0, Index: i}, mac(i))
 	}
 	if s.Dropped() == 0 {
 		t.Error("overflowing the MsgMAC storage did not record drops")
 	}
 }
 
-func TestMACStoreNewBatchRetiresStale(t *testing.T) {
+func TestMACStoreExpireAbandonsStale(t *testing.T) {
 	gen := newGen(t)
 	s := NewMACStore(64, gen)
-	s.OnBlock(BlockTag{BatchID: 0, Index: 0}, mac(0))
-	// Batch 1 starts without batch 0 ever completing.
-	s.OnBlock(BlockTag{BatchID: 1, Index: 0, First: true}, mac(1))
-	if s.Dropped() != 1 {
-		t.Errorf("dropped=%d, want 1 stale batch", s.Dropped())
+	s.OnBlock(100, BlockTag{BatchID: 0, Index: 0}, mac(0))
+	// Batch 1 opens later and fills concurrently; the store tolerates both.
+	s.OnBlock(400, BlockTag{BatchID: 1, Index: 0, First: true}, mac(1))
+	if s.Filling() != 2 {
+		t.Fatalf("filling=%d, want 2 concurrent batches", s.Filling())
+	}
+	ex := s.Expire(500, 200)
+	if len(ex) != 1 || ex[0].BatchID != 0 || ex[0].Received != 1 {
+		t.Fatalf("expired=%+v, want only batch 0 with 1 block", ex)
+	}
+	if s.Dropped() != 1 || s.Quarantined() != 1 || s.Filling() != 1 {
+		t.Errorf("dropped=%d quarantined=%d filling=%d, want 1/1/1",
+			s.Dropped(), s.Quarantined(), s.Filling())
+	}
+}
+
+func TestMACStoreToleratesHolesAndDuplicates(t *testing.T) {
+	gen := newGen(t)
+	b := NewBatcher(3, 0, gen)
+	s := NewMACStore(64, gen)
+	var closed *ClosedBatch
+	var tags []BlockTag
+	for i := 0; i < 3; i++ {
+		tag, c := b.Add(100, mac(i))
+		tags = append(tags, tag)
+		if c != nil {
+			closed = c
+		}
+	}
+	// Block 1 is lost; block 2 lands first, block 0 arrives twice.
+	s.OnBlock(100, tags[2], mac(2))
+	s.OnBlock(100, tags[0], mac(0))
+	s.OnBlock(100, tags[0], mac(0))
+	if res := s.OnBatchMAC(100, closed); res != nil {
+		t.Fatalf("verified with a hole at index 1: %+v", res)
+	}
+	// The retransmitted middle block completes the batch.
+	res := s.OnBlock(100, tags[1], mac(1))
+	if res == nil || !res.OK || res.Len != 3 {
+		t.Fatalf("hole fill did not verify: %+v", res)
 	}
 }
 
@@ -219,7 +254,7 @@ func TestBatchingEndToEndProperty(t *testing.T) {
 			}
 			first = false
 			lastID = cb.BatchID
-			res := s.OnBatchMAC(cb)
+			res := s.OnBatchMAC(0, cb)
 			if res == nil || !res.OK {
 				return false
 			}
@@ -229,7 +264,7 @@ func TestBatchingEndToEndProperty(t *testing.T) {
 		for i, blk := range blocks {
 			m := mac(int(blk))
 			tag, closed := b.Add(0, m)
-			s.OnBlock(tag, m)
+			s.OnBlock(0, tag, m)
 			if !handleClosed(closed) {
 				return false
 			}

@@ -32,6 +32,8 @@ var registry = map[string]Runner{
 	"fig25": Fig25,
 	"fig26": Fig26,
 
+	"resilience": Resilience,
+
 	"ablation-alpha-beta":  AblationAlphaBeta,
 	"ablation-batch-size":  AblationBatchSize,
 	"ablation-timeout":     AblationBatchTimeout,

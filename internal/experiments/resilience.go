@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/sweep"
+)
+
+// resilienceRates are the per-link fault intensities swept by the
+// resilience experiment: each rate r drops and corrupts protected messages
+// with probability r and duplicates them with probability r/2.
+var resilienceRates = []float64{0, 0.005, 0.01}
+
+// Resilience measures how the secure schemes degrade on a lossy fabric.
+// Rows are fault intensities; the per-scheme columns report execution time
+// normalized to the unsecure system on a healthy fabric (the unsecure
+// baseline sends no protected messages, so the fault profile cannot touch
+// it), followed by recovery-protocol counters for the full proposed scheme:
+// goodput (logical blocks acknowledged per block transmission, < 1 under
+// retransmission), retransmitted blocks, NACKs received, and poisoned
+// blocks. Every simulation is seeded, so two runs of the experiment produce
+// identical tables.
+func Resilience(ctx context.Context, p Params) (*Table, error) {
+	schemes := []Scheme{Unsecure, Private4x, Cached4x, Ours4x}
+	specs, err := p.workloads()
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []sweep.Cell
+	for _, rate := range resilienceRates {
+		for _, sch := range schemes {
+			for _, spec := range specs {
+				cfg := p.baseConfig()
+				sch.Mutate(&cfg)
+				if cfg.Secure {
+					cfg.Faults = config.FaultProfile{
+						DropRate:      rate,
+						CorruptRate:   rate,
+						DuplicateRate: rate / 2,
+						Seed:          p.Seed,
+					}
+				}
+				cells = append(cells, sweep.Cell{
+					Spec: spec, Cfg: cfg, Opt: machine.RunOptions{},
+					Label: fmt.Sprintf("%s under %s at fault rate %g", spec.Abbr, sch.Name, rate),
+				})
+			}
+		}
+	}
+	results, err := p.engine().Run(ctx, cells, p.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	at := func(ri, si, wi int) *machine.Result {
+		return results[(ri*len(schemes)+si)*len(specs)+wi]
+	}
+
+	t := &Table{
+		ID:       "Resilience",
+		Title:    "Secure-scheme degradation and recovery on a lossy fabric (OTP 4x)",
+		RowLabel: "fault",
+		Note: "slowdown columns are normalized to the unsecure system, which sends no " +
+			"protected messages and is therefore immune to the fault profile; " +
+			"recovery columns are summed across workloads for the full proposed scheme",
+	}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	t.Columns = append(t.Columns, "Ours goodput", "Ours retrans", "Ours NACKs", "Ours poisoned")
+
+	oursIdx := len(schemes) - 1
+	for ri, rate := range resilienceRates {
+		row := Row{Label: fmt.Sprintf("%.1f%%", rate*100)}
+		for si := range schemes {
+			var sum float64
+			for wi := range specs {
+				base := at(0, 0, wi).Cycles // unsecure, healthy fabric
+				sum += float64(at(ri, si, wi).Cycles) / float64(base)
+			}
+			row.Values = append(row.Values, sum/float64(len(specs)))
+		}
+		// Goodput: of every block transmission on the wire (logical sends
+		// plus retransmissions), the fraction that ended in a completed,
+		// acknowledged block (poisoned blocks never complete).
+		var sent, logical, retrans, nacks, poisoned float64
+		for wi := range specs {
+			sec := at(ri, oursIdx, wi).Sec
+			logical += float64(sec.DataSent)
+			sent += float64(sec.DataSent + sec.Retransmits)
+			retrans += float64(sec.Retransmits)
+			nacks += float64(sec.NACKsReceived)
+			poisoned += float64(sec.BlocksPoisoned)
+		}
+		goodput := 1.0
+		if sent > 0 {
+			goodput = (logical - poisoned) / sent
+		}
+		row.Values = append(row.Values, goodput, retrans, nacks, poisoned)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"secmgpu/internal/sweep"
+)
+
+func TestResilienceRunner(t *testing.T) {
+	tab, err := Resilience(ctx, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 8 {
+		t.Fatalf("columns=%v, want 4 schemes + 4 recovery columns", tab.Columns)
+	}
+	if len(tab.Rows) != len(resilienceRates) {
+		t.Fatalf("rows=%d, want one per fault rate", len(tab.Rows))
+	}
+
+	// On a healthy fabric the unsecure column is exactly 1 (it is its own
+	// baseline) and no recovery activity exists.
+	if v, ok := tab.Value("0.0%", "Unsecure"); !ok || v != 1 {
+		t.Errorf("healthy unsecure slowdown=%v ok=%v, want exactly 1", v, ok)
+	}
+	if v, ok := tab.Value("0.0%", "Ours retrans"); !ok || v != 0 {
+		t.Errorf("healthy retransmits=%v, want 0", v)
+	}
+	if v, ok := tab.Value("0.0%", "Ours goodput"); !ok || v != 1 {
+		t.Errorf("healthy goodput=%v, want 1", v)
+	}
+
+	// The unsecure baseline carries no protected messages: its column is
+	// flat across fault rates.
+	if v, ok := tab.Value("1.0%", "Unsecure"); !ok || v != 1 {
+		t.Errorf("faulty unsecure slowdown=%v, want 1 (immune)", v)
+	}
+
+	// At 1% loss the recovery machinery must actually fire, and goodput
+	// must drop below a healthy channel's.
+	if v, ok := tab.Value("1.0%", "Ours retrans"); !ok || v <= 0 {
+		t.Errorf("faulty retransmits=%v, want > 0", v)
+	}
+	if v, ok := tab.Value("1.0%", "Ours goodput"); !ok || v >= 1 {
+		t.Errorf("faulty goodput=%v, want < 1", v)
+	}
+}
+
+// Two same-seed runs must produce bit-identical tables: the fault profile
+// and every recovery decision are deterministic, and the sweep cache keys on
+// the full configuration including the fault profile.
+func TestResilienceDeterministic(t *testing.T) {
+	runOnce := func() string {
+		p := tiny()
+		p.Engine = sweep.New(2) // isolated cache per run
+		tab, err := Resilience(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.CSV()
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Errorf("same-seed resilience tables differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

@@ -3,6 +3,7 @@ package interconnect
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"secmgpu/internal/sim"
 )
@@ -73,6 +74,10 @@ type Fabric struct {
 	crossbar  stage
 	switchHop sim.Cycle
 
+	// Fault injection state (nil when the profile is inactive).
+	faults   FaultConfig
+	faultRNG [][]*rand.Rand
+
 	stats Stats
 }
 
@@ -122,7 +127,32 @@ type FabricConfig struct {
 	SwitchBandwidth float64
 	// SwitchLatency is the extra hop latency through the switch.
 	SwitchLatency sim.Cycle
+	// Faults injects loss/corruption/duplication into secure-channel
+	// traffic (messages carrying a Sec envelope). Zero rates disable it.
+	Faults FaultConfig
 }
+
+// FaultConfig models a lossy fabric: each secure-channel message (one with
+// a Sec envelope) is independently dropped, corrupted, or duplicated. The
+// unprotected control plane is exempt — no recovery protocol exists for it,
+// and the paper's baseline assumes reliable links. Faults are drawn from
+// per-link generators seeded by (Seed, src, dst) for deterministic,
+// link-independent sequences.
+type FaultConfig struct {
+	DropRate      float64
+	CorruptRate   float64
+	DuplicateRate float64
+	Seed          int64
+}
+
+// Active reports whether any fault is injected.
+func (f FaultConfig) Active() bool {
+	return f.DropRate > 0 || f.CorruptRate > 0 || f.DuplicateRate > 0
+}
+
+// duplicateDelay is how many cycles after the original a duplicated copy
+// arrives, as if re-injected on the wire.
+const duplicateDelay = 7
 
 // NewFabric builds the fabric for cfg. Deliverers must be registered for
 // every node before messages are sent to it.
@@ -141,7 +171,22 @@ func NewFabric(engine *sim.Engine, cfg FabricConfig) *Fabric {
 		nicIn:      make([]stage, n),
 		deliverers: make([]Deliverer, n),
 		topology:   cfg.Topology,
+		faults:     cfg.Faults,
 		stats:      newStats(n),
+	}
+	if cfg.Faults.Active() {
+		f.faultRNG = make([][]*rand.Rand, n)
+		for s := 0; s < n; s++ {
+			f.faultRNG[s] = make([]*rand.Rand, n)
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				// A distinct deterministic stream per directed link: a
+				// fault on one link never perturbs another's sequence.
+				f.faultRNG[s][d] = rand.New(rand.NewSource(cfg.Faults.Seed ^ int64(s*n+d+1)*0x5851f42d4c957f2d))
+			}
+		}
 	}
 	if cfg.Topology == TopologySwitch {
 		if cfg.SwitchBandwidth <= 0 {
@@ -227,6 +272,36 @@ func (f *Fabric) Send(msg *Message) {
 	}
 	t = f.nicIn[msg.Dst].pass(t, size)
 
+	// Fault injection applies only to secure-channel traffic (messages
+	// carrying a Sec envelope); the control plane is lossless. The decision
+	// comes after timing resolution: a dropped message still occupied every
+	// stage up to the fault.
+	if f.faultRNG != nil && msg.Sec != nil {
+		r := f.faultRNG[msg.Src][msg.Dst].Float64()
+		switch {
+		case r < f.faults.DropRate:
+			f.stats.FaultDropped++
+			return
+		case r < f.faults.DropRate+f.faults.CorruptRate:
+			f.stats.FaultCorrupted++
+			msg.Corrupted = true
+			if len(msg.Sec.Ciphertext) > 0 {
+				msg.Sec.Ciphertext = append([]byte(nil), msg.Sec.Ciphertext...)
+				msg.Sec.Ciphertext[0] ^= 0x40
+			}
+		case r < f.faults.DropRate+f.faults.CorruptRate+f.faults.DuplicateRate:
+			f.stats.FaultDuplicated++
+			dup := *msg
+			if msg.Sec != nil {
+				sec := *msg.Sec
+				dup.Sec = &sec
+			}
+			f.engine.Schedule(t+duplicateDelay, sim.HandlerFunc(func(sim.Event) {
+				f.deliverers[dup.Dst].Deliver(f.engine.Now(), &dup)
+			}), nil)
+		}
+	}
+
 	f.engine.Schedule(t, sim.HandlerFunc(func(sim.Event) {
 		f.deliverers[msg.Dst].Deliver(f.engine.Now(), msg)
 	}), nil)
@@ -245,6 +320,12 @@ type Stats struct {
 	ByCategory    [numCategories]uint64
 	perNodeSent   []uint64
 	perNodeRecved []uint64
+
+	// Fault-injection counters (FaultConfig): secure-channel messages
+	// dropped, corrupted, or duplicated in flight.
+	FaultDropped    uint64
+	FaultCorrupted  uint64
+	FaultDuplicated uint64
 }
 
 func newStats(nodes int) Stats {

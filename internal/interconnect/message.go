@@ -90,6 +90,15 @@ const (
 	KindSecACK
 	// KindBatchMAC carries a Batched_MsgMAC covering n data blocks.
 	KindBatchMAC
+	// KindSecNACK is the receiver's retransmit request: the identified
+	// batch (or conventional block) arrived incomplete or failed
+	// verification and should be re-sent under fresh counters.
+	KindSecNACK
+	// KindPoisoned tells a peer that the sender has given up on a data
+	// block after exhausting retransmissions; the peer fails the affected
+	// operation instead of waiting forever. It rides the lossless control
+	// plane so the simulation always drains.
+	KindPoisoned
 )
 
 // String returns a short name for the kind.
@@ -113,6 +122,10 @@ func (k Kind) String() string {
 		return "sec-ack"
 	case KindBatchMAC:
 		return "batch-mac"
+	case KindSecNACK:
+		return "sec-nack"
+	case KindPoisoned:
+		return "poisoned"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -144,6 +157,11 @@ type Message struct {
 	// Sec carries the security envelope (counter, MAC, batch info). It is
 	// nil on unsecured messages.
 	Sec *SecEnvelope
+
+	// Corrupted marks a message damaged in flight by the fault profile.
+	// Functional runs also flip a ciphertext bit so real MAC verification
+	// fails; timing-only runs use the flag itself to model detection.
+	Corrupted bool
 }
 
 // Size returns the total wire size in bytes.

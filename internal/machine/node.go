@@ -81,6 +81,12 @@ type node struct {
 	migrating  map[migration.PageID]bool
 	done       bool
 
+	// Recovery accounting: operations fail-completed after their data was
+	// poisoned, and completions tolerated as stale (duplicate deliveries or
+	// post-poison stragglers).
+	failedOps        uint64
+	staleCompletions uint64
+
 	// Optional communication traces (Figures 13-14).
 	sendRecv *metrics.Series
 	dests    *metrics.Series
@@ -267,6 +273,12 @@ func (n *node) HandleData(now sim.Cycle, msg *interconnect.Message) {
 		// A read we issued has returned.
 		ctx, ok := n.pending[msg.ReqID]
 		if !ok {
+			// On a lossy fabric a retransmitted response can land after the
+			// original (or after the operation was poison-failed).
+			if n.recovery() {
+				n.staleCompletions++
+				return
+			}
 			panic(fmt.Sprintf("machine: %v got unknown data response %d", n.id, msg.ReqID))
 		}
 		delete(n.pending, msg.ReqID)
@@ -309,6 +321,12 @@ func (n *node) HandleControl(now sim.Cycle, msg *interconnect.Message) {
 	case interconnect.KindWriteAck:
 		ctx, ok := n.pending[msg.ReqID]
 		if !ok {
+			// A retransmitted write commits twice at the home, so its second
+			// ack finds the operation already retired.
+			if n.recovery() {
+				n.staleCompletions++
+				return
+			}
 			panic(fmt.Sprintf("machine: %v got unknown write ack %d", n.id, msg.ReqID))
 		}
 		delete(n.pending, msg.ReqID)
@@ -317,9 +335,32 @@ func (n *node) HandleControl(now sim.Cycle, msg *interconnect.Message) {
 	case interconnect.KindMigrReq:
 		n.serveMigration(now, msg)
 
+	case interconnect.KindPoisoned:
+		// A peer gave up on data addressed to us: fail the operation so the
+		// simulation drains instead of waiting forever.
+		ctx, ok := n.pending[msg.ReqID]
+		if !ok {
+			// Already completed (a copy got through before the sender gave
+			// up) or already failed by an earlier poison for the same op.
+			n.staleCompletions++
+			return
+		}
+		delete(n.pending, msg.ReqID)
+		if ctx.migrating {
+			delete(n.migrating, ctx.page)
+		}
+		n.failedOps++
+		n.complete(ctx.cu)
+
 	case interconnect.KindMigrDone:
 		ctx, ok := n.pending[msg.ReqID]
 		if !ok || !ctx.migrating {
+			// The migration may have been poison-failed while its (lossless)
+			// completion signal was in flight.
+			if n.recovery() && !ok {
+				n.staleCompletions++
+				return
+			}
 			panic(fmt.Sprintf("machine: %v got stray migration done %d", n.id, msg.ReqID))
 		}
 		delete(n.pending, msg.ReqID)
@@ -337,6 +378,27 @@ func (n *node) HandleControl(now sim.Cycle, msg *interconnect.Message) {
 	default:
 		panic(fmt.Sprintf("machine: %v got unexpected control kind %v", n.id, msg.Kind))
 	}
+}
+
+// recovery reports whether the secure channel's fault-recovery protocol is
+// active, which relaxes the duplicate-completion panics above.
+func (n *node) recovery() bool { return n.sys.cfg.Secure && n.sys.cfg.Recovery }
+
+// HandlePoisoned implements secure.PoisonHandler: our endpoint abandoned a
+// data block after exhausting retransmissions. If the affected operation is
+// pending locally (a write we issued) it fails here; otherwise the victim is
+// the remote requester, who is told over the lossless control plane.
+func (n *node) HandlePoisoned(now sim.Cycle, dst interconnect.NodeID, kind interconnect.Kind, reqID uint64) {
+	if ctx, ok := n.pending[reqID]; ok {
+		delete(n.pending, reqID)
+		if ctx.migrating {
+			delete(n.migrating, ctx.page)
+		}
+		n.failedOps++
+		n.complete(ctx.cu)
+		return
+	}
+	n.ep.SendControl(dst, interconnect.KindPoisoned, reqID, 0, secure.CtrlBytes)
 }
 
 // serveMigration streams a page's blocks to the requester followed by the

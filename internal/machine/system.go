@@ -69,6 +69,13 @@ type Result struct {
 	Sec secure.Stats
 	// Migrations is the number of page migrations performed.
 	Migrations uint64
+	// FailedOps counts operations that fail-completed because their data
+	// was poisoned after exhausting retransmissions (zero on a healthy
+	// fabric).
+	FailedOps uint64
+	// StaleCompletions counts duplicate or post-poison completions the
+	// recovery protocol tolerated instead of panicking.
+	StaleCompletions uint64
 	// Burst16 and Burst32 are the distributions of cycles needed for 16
 	// and 32 data blocks to gather per (src, dst) pair (Figures 15-16).
 	Burst16, Burst32 *metrics.Histogram
@@ -119,6 +126,12 @@ func New(cfg config.Config, traces [][]workload.Op, opt RunOptions) (*System, er
 		NVLinkLatency:   sim.Cycle(cfg.NVLinkLatency),
 		MsgOverhead:     sim.Cycle(cfg.MsgOverheadCycles),
 		Topology:        topologyOf(cfg),
+		Faults: interconnect.FaultConfig{
+			DropRate:      cfg.Faults.DropRate,
+			CorruptRate:   cfg.Faults.CorruptRate,
+			DuplicateRate: cfg.Faults.DuplicateRate,
+			Seed:          cfg.Faults.Seed,
+		},
 	})
 
 	nNodes := cfg.NumProcessors()
@@ -276,20 +289,9 @@ func (s *System) Run() (*Result, error) {
 			res.OTPPerNode[i] = *st
 			res.OTP.Merge(st)
 		}
-		es := n.ep.Stats()
-		res.Sec.DataSent += es.DataSent
-		res.Sec.DataReceived += es.DataReceived
-		res.Sec.ACKsSent += es.ACKsSent
-		res.Sec.ACKsReceived += es.ACKsReceived
-		res.Sec.BatchMACsSent += es.BatchMACsSent
-		res.Sec.BatchesVerified += es.BatchesVerified
-		res.Sec.BatchesFailed += es.BatchesFailed
-		res.Sec.TimeoutFlushes += es.TimeoutFlushes
-		res.Sec.DecryptOK += es.DecryptOK
-		res.Sec.DecryptFailed += es.DecryptFailed
-		if es.PendingACKPeak > res.Sec.PendingACKPeak {
-			res.Sec.PendingACKPeak = es.PendingACKPeak
-		}
+		res.Sec.Merge(n.ep.Stats())
+		res.FailedOps += n.failedOps
+		res.StaleCompletions += n.staleCompletions
 		if s.opt.TraceComms && !n.id.IsCPU() {
 			res.SendRecvSeries = append(res.SendRecvSeries, n.sendRecv)
 			res.DestSeries = append(res.DestSeries, n.dests)

@@ -79,18 +79,36 @@ type Options struct {
 	BatchTimeout     sim.Cycle
 	// Functional enables real encryption and MAC verification.
 	Functional bool
+
+	// Recovery enables the NACK/retransmission protocol: ACK timers with
+	// bounded, exponentially backed-off retries on the sender, stale-batch
+	// NACKs on the receiver, and poisoning after max retries. Off (the
+	// zero value) preserves the detect-only legacy behaviour.
+	Recovery bool
+	// RetransTimeout is the base ACK timeout; retry k waits
+	// RetransTimeout << k. Zero selects the default when Recovery is set.
+	RetransTimeout sim.Cycle
+	// RetransMaxRetries bounds retransmissions per unit before poisoning.
+	RetransMaxRetries int
+	// StaleBatchTimeout is how long the receiver holds an incomplete
+	// batch before NACKing and abandoning it.
+	StaleBatchTimeout sim.Cycle
 }
 
 // OptionsFrom derives endpoint options from the system configuration.
 func OptionsFrom(c config.Config, functional bool) Options {
 	return Options{
-		Secure:           c.Secure,
-		Batching:         c.Secure && c.Batching,
-		MetadataTraffic:  c.MetadataTraffic,
-		CPUMemProtection: c.CPUMemProtection,
-		BatchSize:        c.BatchSize,
-		BatchTimeout:     sim.Cycle(c.BatchFlushTimeout),
-		Functional:       functional,
+		Secure:            c.Secure,
+		Batching:          c.Secure && c.Batching,
+		MetadataTraffic:   c.MetadataTraffic,
+		CPUMemProtection:  c.CPUMemProtection,
+		BatchSize:         c.BatchSize,
+		BatchTimeout:      sim.Cycle(c.BatchFlushTimeout),
+		Functional:        functional,
+		Recovery:          c.Secure && c.Recovery,
+		RetransTimeout:    sim.Cycle(c.RetransTimeout),
+		RetransMaxRetries: c.RetransMaxRetries,
+		StaleBatchTimeout: sim.Cycle(c.StaleBatchTimeout),
 	}
 }
 
@@ -105,7 +123,69 @@ type Stats struct {
 	DecryptOK, DecryptFailed uint64
 	ReplaysDropped           uint64
 	PendingACKPeak           int
+
+	// Recovery-protocol counters.
+	//
+	// Retransmits counts blocks re-encrypted under fresh counters and
+	// re-sent; AckTimeouts counts ACK-timer expirations that acted (each
+	// triggers either a retransmission or poisoning).
+	Retransmits uint64
+	AckTimeouts uint64
+	// NACKsSent/NACKsReceived count retransmit requests; StaleACKs counts
+	// ACKs/NACKs that named a unit this sender no longer tracks (late
+	// duplicates, or feedback for an already re-keyed batch).
+	NACKsSent, NACKsReceived uint64
+	StaleACKs                uint64
+	// BatchesPoisoned/BlocksPoisoned count units abandoned after max
+	// retries; the affected operations fail instead of hanging.
+	BatchesPoisoned, BlocksPoisoned uint64
+	// Quarantined counts blocks that lazy verification delivered before
+	// their batch failed or expired — data the node consumed unverified.
+	Quarantined uint64
+	// MalformedDropped counts structurally invalid secure-channel
+	// messages (nil or out-of-range envelopes, corrupted ACK/NACK frames)
+	// discarded at the endpoint.
+	MalformedDropped uint64
 }
+
+// Merge accumulates o into s (PendingACKPeak takes the maximum).
+func (s *Stats) Merge(o *Stats) {
+	s.DataSent += o.DataSent
+	s.DataReceived += o.DataReceived
+	s.ACKsSent += o.ACKsSent
+	s.ACKsReceived += o.ACKsReceived
+	s.BatchMACsSent += o.BatchMACsSent
+	s.BatchesVerified += o.BatchesVerified
+	s.BatchesFailed += o.BatchesFailed
+	s.TimeoutFlushes += o.TimeoutFlushes
+	s.DecryptOK += o.DecryptOK
+	s.DecryptFailed += o.DecryptFailed
+	s.ReplaysDropped += o.ReplaysDropped
+	if o.PendingACKPeak > s.PendingACKPeak {
+		s.PendingACKPeak = o.PendingACKPeak
+	}
+	s.Retransmits += o.Retransmits
+	s.AckTimeouts += o.AckTimeouts
+	s.NACKsSent += o.NACKsSent
+	s.NACKsReceived += o.NACKsReceived
+	s.StaleACKs += o.StaleACKs
+	s.BatchesPoisoned += o.BatchesPoisoned
+	s.BlocksPoisoned += o.BlocksPoisoned
+	s.Quarantined += o.Quarantined
+	s.MalformedDropped += o.MalformedDropped
+}
+
+// PoisonHandler is optionally implemented by the node logic to learn when a
+// data block is abandoned after max retries. dst is the peer the block was
+// addressed to; the handler decides whether the failed operation is local
+// (fail it) or remote (tell the peer over the lossless control plane).
+type PoisonHandler interface {
+	HandlePoisoned(now sim.Cycle, dst interconnect.NodeID, kind interconnect.Kind, reqID uint64)
+}
+
+// convClass is the pseudo batch class identifying conventional (unbatched)
+// per-block units in retransmission tracking and ACK/NACK envelopes.
+const convClass = -1
 
 // Endpoint is one processor's secure channel termination.
 type Endpoint struct {
@@ -136,7 +216,48 @@ type Endpoint struct {
 
 	pendingACK int
 	stats      Stats
+
+	// Recovery state (nil/false unless opts.Recovery).
+	//
+	// units tracks every unACKed send unit — one batch, or one
+	// conventional block — for retransmission. Timers have no engine-side
+	// cancellation, so each unit carries an epoch: resolving or re-keying
+	// a unit invalidates its outstanding timers.
+	units   map[unitKey]*txUnit
+	poisonH PoisonHandler
+	// scanArmed guards the self-quenching receiver-side stale-batch scan.
+	scanArmed bool
 }
+
+// unitKey identifies one retransmission unit: a batch (class 0 or 1) or a
+// conventional block (convClass, keyed by its MsgCTR).
+type unitKey struct {
+	peer  int
+	class int
+	id    uint64
+}
+
+// txBlock retains what is needed to re-send one data block.
+type txBlock struct {
+	kind    interconnect.Kind
+	reqID   uint64
+	addr    uint64
+	payload []byte
+	homed   bool
+}
+
+// txUnit is one unACKed send unit.
+type txUnit struct {
+	dst     interconnect.NodeID
+	peer    int
+	class   int
+	id      uint64
+	blocks  []txBlock
+	attempt int
+	epoch   uint64
+}
+
+func (u *txUnit) key() unitKey { return unitKey{peer: u.peer, class: u.class, id: u.id} }
 
 // New creates an endpoint. mgr may be nil when opts.Secure is false. The
 // endpoint registers itself as the node's fabric deliverer.
@@ -144,6 +265,17 @@ func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.Node
 	opts Options, mgr otp.Manager, handler Handler) *Endpoint {
 	if opts.Secure && mgr == nil {
 		panic("secure: secure endpoint needs an OTP manager")
+	}
+	if opts.Recovery {
+		if opts.RetransTimeout == 0 {
+			opts.RetransTimeout = 50_000
+		}
+		if opts.RetransMaxRetries == 0 {
+			opts.RetransMaxRetries = 6
+		}
+		if opts.StaleBatchTimeout == 0 {
+			opts.StaleBatchTimeout = 25_000
+		}
 	}
 	e := &Endpoint{
 		engine:  engine,
@@ -157,6 +289,12 @@ func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.Node
 	e.lastSendAt = make([]sim.Cycle, peers)
 	e.lastCtr = make([]uint64, peers)
 	e.ctrSeen = make([]bool, peers)
+	if opts.Recovery {
+		e.units = make(map[unitKey]*txUnit)
+		if ph, ok := handler.(PoisonHandler); ok {
+			e.poisonH = ph
+		}
+	}
 	if opts.Functional {
 		gen, err := crypto.NewPadGenerator(SessionKey)
 		if err != nil {
@@ -266,21 +404,7 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 
 	env := &interconnect.SecEnvelope{MsgCTR: use.Ctr, SenderID: e.node}
 	msg.Sec = env
-
-	var mac [crypto.MACBytes]byte
-	if e.gen != nil {
-		pad := e.gen.Generate(use.Ctr, uint16(e.node), uint16(dst))
-		ct := make([]byte, crypto.BlockBytes)
-		src := payload
-		if len(src) != crypto.BlockBytes {
-			src = make([]byte, crypto.BlockBytes)
-			copy(src, payload)
-		}
-		crypto.Encrypt(ct, src, &pad)
-		env.Ciphertext = ct
-		mac = e.gen.MAC(ct, &pad)
-	}
-	env.MAC = mac
+	mac := e.seal(env, dst, payload)
 
 	var closed *core.ClosedBatch
 	var class int
@@ -303,8 +427,22 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 		if c != nil {
 			env.BatchLen = c.Len
 		}
-	} else if e.opts.MetadataTraffic {
-		msg.MetaBytes = InlineMetaConv
+		if e.opts.Recovery {
+			u := e.trackBlock(unitKey{peer: peer, class: class, id: tag.BatchID}, dst,
+				txBlock{kind: kind, reqID: reqID, addr: addr, payload: payload, homed: homedInCPUMemory})
+			if c != nil {
+				e.armUnitTimer(u, sendAt)
+			}
+		}
+	} else {
+		if e.opts.MetadataTraffic {
+			msg.MetaBytes = InlineMetaConv
+		}
+		if e.opts.Recovery {
+			u := e.trackBlock(unitKey{peer: peer, class: convClass, id: use.Ctr}, dst,
+				txBlock{kind: kind, reqID: reqID, addr: addr, payload: payload, homed: homedInCPUMemory})
+			e.armUnitTimer(u, sendAt)
+		}
 	}
 	if homedInCPUMemory && e.opts.CPUMemProtection && e.opts.MetadataTraffic {
 		msg.MemProtBytes = MemProtBytes
@@ -323,6 +461,38 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 	})
 }
 
+// seal encrypts payload under the envelope's counter (functional runs) and
+// installs the per-block MAC, which it also returns for batching.
+func (e *Endpoint) seal(env *interconnect.SecEnvelope, dst interconnect.NodeID, payload []byte) [crypto.MACBytes]byte {
+	var mac [crypto.MACBytes]byte
+	if e.gen != nil {
+		pad := e.gen.Generate(env.MsgCTR, uint16(e.node), uint16(dst))
+		ct := make([]byte, crypto.BlockBytes)
+		src := payload
+		if len(src) != crypto.BlockBytes {
+			src = make([]byte, crypto.BlockBytes)
+			copy(src, payload)
+		}
+		crypto.Encrypt(ct, src, &pad)
+		env.Ciphertext = ct
+		mac = e.gen.MAC(ct, &pad)
+	}
+	env.MAC = mac
+	return mac
+}
+
+// trackBlock appends one block to its retransmission unit, creating the
+// unit on first use.
+func (e *Endpoint) trackBlock(key unitKey, dst interconnect.NodeID, blk txBlock) *txUnit {
+	u, ok := e.units[key]
+	if !ok {
+		u = &txUnit{dst: dst, peer: key.peer, class: key.class, id: key.id}
+		e.units[key] = u
+	}
+	u.blocks = append(u.blocks, blk)
+	return u
+}
+
 // batchClass routes migration chunks to the page-granularity batcher.
 func batchClass(kind interconnect.Kind) int {
 	if kind == interconnect.KindMigrChunk {
@@ -338,6 +508,15 @@ func (e *Endpoint) scheduleBatchTimeout(dst interconnect.NodeID, class, peer int
 			if cb := b.Flush(); cb != nil {
 				e.stats.TimeoutFlushes++
 				e.sendBatchMAC(dst, class, cb)
+				if e.opts.Recovery {
+					if u, ok := e.units[unitKey{peer: peer, class: class, id: batchID}]; ok {
+						at := e.engine.Now()
+						if e.lastSendAt[peer] > at {
+							at = e.lastSendAt[peer]
+						}
+						e.armUnitTimer(u, at)
+					}
+				}
 			}
 		}
 	}), nil)
@@ -373,16 +552,48 @@ func (e *Endpoint) Deliver(now sim.Cycle, msg *interconnect.Message) {
 	case interconnect.KindDataResp, interconnect.KindWriteReq, interconnect.KindMigrChunk:
 		e.deliverData(now, msg)
 	case interconnect.KindSecACK:
+		if e.opts.Recovery && msg.Sec != nil {
+			if msg.Corrupted {
+				// A damaged ACK frame is discarded; the unit's timer
+				// retransmits and a later ACK resolves it.
+				e.stats.MalformedDropped++
+				return
+			}
+			e.stats.ACKsReceived++
+			e.resolveUnit(unitKey{peer: e.PeerIndex(msg.Src), class: msg.Sec.BatchClass, id: msg.Sec.BatchID})
+			return
+		}
 		e.stats.ACKsReceived++
 		if e.pendingACK > 0 {
 			e.pendingACK--
 		}
+	case interconnect.KindSecNACK:
+		if !e.opts.Recovery || msg.Sec == nil || msg.Corrupted {
+			e.stats.MalformedDropped++
+			return
+		}
+		e.stats.NACKsReceived++
+		e.onNACK(unitKey{peer: e.PeerIndex(msg.Src), class: msg.Sec.BatchClass, id: msg.Sec.BatchID})
 	case interconnect.KindBatchMAC:
+		// A malformed Batched_MsgMAC (no envelope, or one for a stream
+		// this endpoint does not run) is dropped, not dereferenced: an
+		// adversary must not be able to panic a node.
+		if msg.Sec == nil || !e.opts.Secure || !e.opts.Batching ||
+			msg.Sec.BatchClass < 0 || msg.Sec.BatchClass >= len(e.macStores) {
+			e.stats.MalformedDropped++
+			return
+		}
 		peer := e.PeerIndex(msg.Src)
 		cb := &core.ClosedBatch{BatchID: msg.Sec.BatchID, Len: msg.Sec.BatchLen, MAC: msg.Sec.MAC}
-		if res := e.macStores[msg.Sec.BatchClass][peer].OnBatchMAC(cb); res != nil {
-			e.finishBatch(msg.Src, res)
+		if msg.Corrupted {
+			// The fault damaged the Batched_MsgMAC itself; verification
+			// must fail so the batch is NACKed and re-sent.
+			cb.MAC[0] ^= 0xff
 		}
+		if res := e.macStores[msg.Sec.BatchClass][peer].OnBatchMAC(now, cb); res != nil {
+			e.finishBatch(msg.Src, msg.Sec.BatchClass, res)
+		}
+		e.armStaleScan()
 	default:
 		e.handler.HandleControl(now, msg)
 	}
@@ -408,17 +619,14 @@ func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
 	deliverAt := now + use.Stall + 1
 
 	var mac [crypto.MACBytes]byte
+	corrupt := msg.Corrupted
 	if e.gen != nil {
 		pad := e.gen.Generate(msg.Sec.MsgCTR, uint16(msg.Src), uint16(e.node))
 		plain := make([]byte, crypto.BlockBytes)
 		crypto.Encrypt(plain, msg.Sec.Ciphertext, &pad)
 		mac = e.gen.MAC(msg.Sec.Ciphertext, &pad)
-		if !e.opts.Batching {
-			if mac == msg.Sec.MAC {
-				e.stats.DecryptOK++
-			} else {
-				e.stats.DecryptFailed++
-			}
+		if !e.opts.Batching && mac != msg.Sec.MAC {
+			corrupt = true
 		}
 	}
 
@@ -426,12 +634,29 @@ func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
 		// Lazy verification (Section IV-C): the block is delivered as
 		// soon as it is decrypted; the MsgMAC storage verifies the
 		// batch when complete and only then ACKs.
-		tag := core.BlockTag{BatchID: msg.Sec.BatchID, Index: msg.Sec.BatchIndex, First: msg.Sec.BatchIndex == 0}
-		if res := e.macStores[msg.Sec.BatchClass][peer].OnBlock(tag, mac); res != nil {
-			e.finishBatch(msg.Src, res)
+		if corrupt && e.gen == nil {
+			// Timing-only runs have no real ciphertext: model the damage
+			// by flipping the computed MsgMAC so batch verification fails.
+			mac[0] ^= 0xff
 		}
+		tag := core.BlockTag{BatchID: msg.Sec.BatchID, Index: msg.Sec.BatchIndex, First: msg.Sec.BatchIndex == 0}
+		if res := e.macStores[msg.Sec.BatchClass][peer].OnBlock(now, tag, mac); res != nil {
+			e.finishBatch(msg.Src, msg.Sec.BatchClass, res)
+		}
+		e.armStaleScan()
 	} else {
-		e.sendACK(msg.Src)
+		if corrupt {
+			e.stats.DecryptFailed++
+			if e.opts.Recovery {
+				// The block is damaged: request a fresh copy instead of
+				// acknowledging, and never hand the data to the node.
+				e.sendNACK(msg.Src, convClass, msg.Sec.MsgCTR)
+				return
+			}
+		} else if e.gen != nil {
+			e.stats.DecryptOK++
+		}
+		e.sendACK(msg.Src, convClass, msg.Sec.MsgCTR)
 	}
 
 	if use.Stall == 0 {
@@ -442,30 +667,281 @@ func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
 	e.at(deliverAt, func() { e.handler.HandleData(e.engine.Now(), msg) })
 }
 
-func (e *Endpoint) finishBatch(src interconnect.NodeID, res *core.VerifyResult) {
+func (e *Endpoint) finishBatch(src interconnect.NodeID, class int, res *core.VerifyResult) {
 	if res.OK {
 		e.stats.BatchesVerified++
 		e.stats.DecryptOK += uint64(res.Len)
 	} else {
 		e.stats.BatchesFailed++
 		e.stats.DecryptFailed += uint64(res.Len)
+		if e.opts.Recovery {
+			// Every covered block was already consumed under lazy
+			// verification; account for it and request a clean re-send.
+			e.stats.Quarantined += uint64(res.Len)
+			e.sendNACK(src, class, res.BatchID)
+			return
+		}
 	}
-	e.sendACK(src)
+	e.sendACK(src, class, res.BatchID)
 }
 
-func (e *Endpoint) sendACK(dst interconnect.NodeID) {
+func (e *Endpoint) sendACK(dst interconnect.NodeID, class int, id uint64) {
 	e.stats.ACKsSent++
+	e.sendFeedback(dst, interconnect.KindSecACK, class, id)
+}
+
+func (e *Endpoint) sendNACK(dst interconnect.NodeID, class int, id uint64) {
+	e.stats.NACKsSent++
+	e.sendFeedback(dst, interconnect.KindSecNACK, class, id)
+}
+
+// sendFeedback transmits an ACK or NACK. Under recovery the frame carries
+// an envelope naming the acknowledged unit (same ACKBytes wire size: the 8B
+// echo field identifies the batch instead of the MAC); the legacy protocol
+// keeps its anonymous in-order ACKs.
+func (e *Endpoint) sendFeedback(dst interconnect.NodeID, kind interconnect.Kind, class int, id uint64) {
 	size := 0
 	if e.opts.MetadataTraffic {
 		size = ACKBytes
 	}
-	e.fabric.Send(&interconnect.Message{
-		Kind:      interconnect.KindSecACK,
+	msg := &interconnect.Message{
+		Kind:      kind,
 		Category:  interconnect.CatSecACK,
 		Src:       e.node,
 		Dst:       dst,
 		MetaBytes: size,
-	})
+	}
+	if e.opts.Recovery {
+		msg.Sec = &interconnect.SecEnvelope{SenderID: e.node, BatchClass: class, BatchID: id}
+	}
+	e.fabric.Send(msg)
+}
+
+// resolveUnit retires a unit on ACK: its blocks are confirmed received and
+// verified, so the pending-ACK debt is repaid and outstanding timers die.
+func (e *Endpoint) resolveUnit(key unitKey) {
+	u, ok := e.units[key]
+	if !ok {
+		e.stats.StaleACKs++
+		return
+	}
+	u.epoch++
+	delete(e.units, key)
+	e.pendingACK -= len(u.blocks)
+	if e.pendingACK < 0 {
+		e.pendingACK = 0
+	}
+}
+
+// onNACK retransmits the named unit immediately (or poisons it when the
+// retry budget is spent). A NACK for an unknown unit — already resolved, or
+// already re-keyed by a timer — is stale and ignored.
+func (e *Endpoint) onNACK(key unitKey) {
+	u, ok := e.units[key]
+	if !ok {
+		e.stats.StaleACKs++
+		return
+	}
+	if u.attempt >= e.opts.RetransMaxRetries {
+		e.poison(u)
+		return
+	}
+	e.retransmit(u)
+}
+
+// armUnitTimer schedules the unit's ACK timeout with exponential backoff.
+// The engine has no event cancellation, so the timer re-validates the unit
+// by (key, epoch) when it fires: a resolved or re-keyed unit makes it a
+// no-op.
+func (e *Endpoint) armUnitTimer(u *txUnit, sentAt sim.Cycle) {
+	if !e.opts.Recovery {
+		return
+	}
+	shift := uint(u.attempt)
+	if shift > 6 {
+		shift = 6
+	}
+	key, epoch := u.key(), u.epoch
+	e.engine.Schedule(sentAt+(e.opts.RetransTimeout<<shift), sim.HandlerFunc(func(sim.Event) {
+		uu, ok := e.units[key]
+		if !ok || uu.epoch != epoch {
+			return
+		}
+		e.stats.AckTimeouts++
+		if uu.attempt >= e.opts.RetransMaxRetries {
+			e.poison(uu)
+			return
+		}
+		e.retransmit(uu)
+	}), nil)
+}
+
+// retransmit re-sends every block of the unit. Pads are one-time and the
+// receiver's counter guard rejects stale counters, so each block is
+// re-encrypted under a fresh MsgCTR; a batch additionally re-keys to a
+// fresh BatchID (with a fresh Batched_MsgMAC) so the copy never collides
+// with the receiver's state for the lost original.
+func (e *Endpoint) retransmit(u *txUnit) {
+	u.attempt++
+	u.epoch++
+	e.stats.Retransmits += uint64(len(u.blocks))
+	delete(e.units, u.key())
+	peer := u.peer
+
+	if u.class == convClass {
+		blk := u.blocks[0]
+		now := e.engine.Now()
+		use := e.mgr.UseSend(now, peer)
+		sendAt := now + use.Stall + 1
+		if sendAt < e.lastSendAt[peer] {
+			sendAt = e.lastSendAt[peer]
+		}
+		e.lastSendAt[peer] = sendAt
+		u.id = use.Ctr
+		e.units[u.key()] = u
+		msg := e.dataMessage(u.dst, blk)
+		msg.Sec = &interconnect.SecEnvelope{MsgCTR: use.Ctr, SenderID: e.node}
+		e.seal(msg.Sec, u.dst, blk.payload)
+		if e.opts.MetadataTraffic {
+			msg.MetaBytes = InlineMetaConv
+		}
+		e.at(sendAt, func() { e.fabric.Send(msg) })
+		e.armUnitTimer(u, sendAt)
+		return
+	}
+
+	n := len(u.blocks)
+	u.id = e.batchers[u.class][peer].AllocID()
+	e.units[u.key()] = u
+	var macs []byte
+	var lastSend sim.Cycle
+	for i, blk := range u.blocks {
+		now := e.engine.Now()
+		use := e.mgr.UseSend(now, peer)
+		sendAt := now + use.Stall + 1
+		if sendAt < e.lastSendAt[peer] {
+			sendAt = e.lastSendAt[peer]
+		}
+		e.lastSendAt[peer] = sendAt
+		lastSend = sendAt
+		msg := e.dataMessage(u.dst, blk)
+		msg.Sec = &interconnect.SecEnvelope{
+			MsgCTR: use.Ctr, SenderID: e.node,
+			BatchClass: u.class, BatchID: u.id, BatchIndex: i,
+		}
+		mac := e.seal(msg.Sec, u.dst, blk.payload)
+		macs = append(macs, mac[:]...)
+		if e.opts.MetadataTraffic {
+			msg.MetaBytes = InlineMetaBatch
+			if i == 0 {
+				msg.MetaBytes += BatchLenByte
+			}
+		}
+		if i == n-1 {
+			msg.Sec.BatchLen = n
+		}
+		e.at(sendAt, func() { e.fabric.Send(msg) })
+	}
+	cb := &core.ClosedBatch{BatchID: u.id, Len: n, MAC: core.BatchMAC(e.gen, macs)}
+	e.at(lastSend, func() { e.sendBatchMAC(u.dst, u.class, cb) })
+	e.armUnitTimer(u, lastSend)
+}
+
+// dataMessage rebuilds the wire message for one retransmitted block.
+func (e *Endpoint) dataMessage(dst interconnect.NodeID, blk txBlock) *interconnect.Message {
+	msg := &interconnect.Message{
+		Kind:      blk.kind,
+		Category:  interconnect.CatData,
+		Src:       e.node,
+		Dst:       dst,
+		BaseBytes: DataBytes,
+		ReqID:     blk.reqID,
+		Addr:      blk.addr,
+	}
+	if blk.homed && e.opts.CPUMemProtection && e.opts.MetadataTraffic {
+		msg.MemProtBytes = MemProtBytes
+	}
+	return msg
+}
+
+// poison abandons a unit after max retries: the pending-ACK debt is repaid,
+// the blocks are surfaced in Stats, and the node logic is told so affected
+// operations fail instead of hanging the simulation.
+func (e *Endpoint) poison(u *txUnit) {
+	u.epoch++
+	delete(e.units, u.key())
+	e.pendingACK -= len(u.blocks)
+	if e.pendingACK < 0 {
+		e.pendingACK = 0
+	}
+	e.stats.BatchesPoisoned++
+	e.stats.BlocksPoisoned += uint64(len(u.blocks))
+	if e.poisonH != nil {
+		now := e.engine.Now()
+		for _, blk := range u.blocks {
+			e.poisonH.HandlePoisoned(now, u.dst, blk.kind, blk.reqID)
+		}
+	}
+}
+
+// armStaleScan schedules the receiver-side stale-batch sweep. The scan is
+// self-quenching: it re-arms only while incomplete batches remain, so a
+// drained endpoint schedules no further events.
+func (e *Endpoint) armStaleScan() {
+	if !e.opts.Recovery || !e.opts.Batching || e.scanArmed {
+		return
+	}
+	e.scanArmed = true
+	e.engine.Schedule(e.engine.Now()+e.opts.StaleBatchTimeout, sim.HandlerFunc(e.scanStale), nil)
+}
+
+// scanStale NACKs and abandons every incomplete batch older than the stale
+// timeout: blocks lost on the wire leave holes no Batched_MsgMAC can close,
+// and a lost Batched_MsgMAC leaves a complete batch unverifiable — either
+// way the sender must re-send, and hoarding the remains would exhaust the
+// MsgMAC storage.
+func (e *Endpoint) scanStale(sim.Event) {
+	e.scanArmed = false
+	now := e.engine.Now()
+	rearm := false
+	for class := range e.macStores {
+		for peer, store := range e.macStores[class] {
+			if store == nil {
+				continue
+			}
+			for _, ex := range store.Expire(now, e.opts.StaleBatchTimeout) {
+				e.stats.Quarantined += uint64(ex.Received)
+				e.sendNACK(PeerID(e.node, peer), class, ex.BatchID)
+			}
+			if store.Filling() > 0 {
+				rearm = true
+			}
+		}
+	}
+	if rearm {
+		e.scanArmed = true
+		e.engine.Schedule(now+e.opts.StaleBatchTimeout, sim.HandlerFunc(e.scanStale), nil)
+	}
+}
+
+// PendingACK returns the sender's current unacknowledged-block debt.
+func (e *Endpoint) PendingACK() int { return e.pendingACK }
+
+// OpenUnits returns the retransmission units still awaiting resolution
+// (always zero with recovery off or after a drained recovery run).
+func (e *Endpoint) OpenUnits() int { return len(e.units) }
+
+// FillingBatches returns the incomplete batches across all MsgMAC stores.
+func (e *Endpoint) FillingBatches() int {
+	total := 0
+	for class := range e.macStores {
+		for _, store := range e.macStores[class] {
+			if store != nil {
+				total += store.Filling()
+			}
+		}
+	}
+	return total
 }
 
 // at runs fn now (when the cycle is current) or schedules it.

@@ -110,10 +110,11 @@ type Stats struct {
 type Engine struct {
 	workers int
 
-	mu    sync.Mutex
-	obs   Observer
-	cache map[Key]*entry
-	stats Stats
+	mu      sync.Mutex
+	obs     Observer
+	cache   map[Key]*entry
+	stats   Stats
+	timeout time.Duration
 
 	// simulate executes one cell; tests substitute it to inject
 	// failures, panics, and timing probes.
@@ -146,6 +147,19 @@ func (e *Engine) Observe(obs Observer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.obs = obs
+}
+
+// SetCellTimeout bounds each cell's simulation wall time (<= 0 disables the
+// bound, the default). A cell that exceeds the deadline fails with an error
+// naming the timeout — the same path as a panicking cell — so one divergent
+// simulation (a livelocked recovery loop, a pathological config) cannot hang
+// an entire sweep. The abandoned simulation's goroutine is left to finish in
+// the background; its eventual result is discarded, and the cell's cache
+// entry holds the timeout error so retries are explicit.
+func (e *Engine) SetCellTimeout(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.timeout = d
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -262,6 +276,31 @@ func protect(sim func(Cell) (*machine.Result, error), c Cell) (res *machine.Resu
 	return sim(c)
 }
 
+// run executes one simulation under the panic guard and, when a cell
+// timeout is configured, a wall-clock deadline.
+func (e *Engine) run(c Cell, timeout time.Duration) (*machine.Result, error) {
+	if timeout <= 0 {
+		return protect(e.simulate, c)
+	}
+	type outcome struct {
+		res *machine.Result
+		err error
+	}
+	// Buffered so the abandoned goroutine can deposit its late result and
+	// exit instead of leaking.
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := protect(e.simulate, c)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("simulation exceeded cell timeout %v", timeout)
+	}
+}
+
 // cell resolves one cell: serve it from the cache, wait on an identical
 // in-flight simulation, or execute it and publish the outcome.
 func (e *Engine) cell(ctx context.Context, c Cell) (*machine.Result, bool, error) {
@@ -282,10 +321,11 @@ func (e *Engine) cell(ctx context.Context, c Cell) (*machine.Result, bool, error
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[k] = ent
+	timeout := e.timeout
 	e.mu.Unlock()
 
 	start := time.Now()
-	ent.res, ent.err = protect(e.simulate, c)
+	ent.res, ent.err = e.run(c, timeout)
 	dur := time.Since(start)
 	close(ent.done)
 

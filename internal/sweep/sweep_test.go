@@ -253,3 +253,58 @@ func TestErrorsAreCachedToo(t *testing.T) {
 		t.Errorf("failing cell simulated %d times, want 1 (errors cached)", n)
 	}
 }
+
+func TestCellTimeoutFailsSlowCell(t *testing.T) {
+	e := New(2)
+	e.SetCellTimeout(20 * time.Millisecond)
+	block := make(chan struct{})
+	e.simulate = func(c Cell) (*machine.Result, error) {
+		if c.Label == "slow" {
+			<-block
+		}
+		return &machine.Result{Cycles: 1}, nil
+	}
+	defer close(block)
+
+	cells := []Cell{
+		{Spec: workload.Spec{Abbr: "a"}, Label: "fast"},
+		{Spec: workload.Spec{Abbr: "b"}, Label: "slow"},
+	}
+	_, err := e.Run(context.Background(), cells, 2)
+	if err == nil || !strings.Contains(err.Error(), "cell timeout") {
+		t.Fatalf("err=%v, want a cell-timeout failure", err)
+	}
+	if !strings.Contains(err.Error(), "slow") {
+		t.Errorf("err=%v does not name the slow cell", err)
+	}
+}
+
+func TestCellTimeoutDisabledByDefault(t *testing.T) {
+	e := New(1)
+	e.simulate = func(Cell) (*machine.Result, error) {
+		time.Sleep(30 * time.Millisecond)
+		return &machine.Result{Cycles: 7}, nil
+	}
+	res, err := e.Run(context.Background(), []Cell{{Spec: workload.Spec{Abbr: "a"}}}, 1)
+	if err != nil {
+		t.Fatalf("unbounded engine failed a slow cell: %v", err)
+	}
+	if res[0].Cycles != 7 {
+		t.Errorf("cycles=%d, want 7", res[0].Cycles)
+	}
+}
+
+func TestCellTimeoutSparesFastCells(t *testing.T) {
+	e := New(2)
+	e.SetCellTimeout(5 * time.Second)
+	e.simulate = func(Cell) (*machine.Result, error) {
+		return &machine.Result{Cycles: 3}, nil
+	}
+	res, err := e.Run(context.Background(), []Cell{{Spec: workload.Spec{Abbr: "a"}}}, 1)
+	if err != nil {
+		t.Fatalf("fast cell failed under a generous timeout: %v", err)
+	}
+	if res[0].Cycles != 3 {
+		t.Errorf("cycles=%d, want 3", res[0].Cycles)
+	}
+}

@@ -59,6 +59,11 @@ const (
 	SchemeOracle = config.OTPOracle
 )
 
+// FaultProfile models a lossy fabric: seeded per-link drop, corruption, and
+// duplication of protected messages, recovered by the secure channel's
+// NACK/retransmission protocol (Config.Recovery).
+type FaultProfile = config.FaultProfile
+
 // RunOptions selects run-time features (functional crypto, communication
 // tracing).
 type RunOptions = machine.RunOptions
