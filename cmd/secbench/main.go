@@ -9,10 +9,20 @@
 // simulations finish, no new cells start, and completed tables remain
 // printed.
 //
+// With -store the run is also crash-safe: every completed cell persists
+// to an on-disk content-addressed store as it finishes, a per-run
+// journal records progress, and a run killed mid-campaign resumes with
+// -resume RUNID — replaying the journal, reusing every verified
+// persisted result, and simulating only what is missing. Results from a
+// different binary or config are invalidated (quarantined), never
+// silently reused.
+//
 // Usage:
 //
 //	secbench -exp fig21 -scale 0.25
 //	secbench -exp all -scale 1.0 -csv
+//	secbench -exp all -store results/store -run-id nightly -out results/tables
+//	secbench -exp all -store results/store -resume nightly -out results/tables
 //	secbench -list
 package main
 
@@ -23,10 +33,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"secmgpu/internal/experiments"
+	"secmgpu/internal/store"
 	"secmgpu/internal/sweep"
 )
 
@@ -66,6 +78,13 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable the live progress line")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-simulation wall-time bound (0 = unbounded); an exceeded cell fails instead of hanging the sweep")
+	storeDir := flag.String("store", "", "durable result store directory: completed cells persist as they finish and later runs reuse them")
+	resume := flag.String("resume", "", "resume the journaled run with this ID from the store (requires -store)")
+	runID := flag.String("run-id", "", "run identifier for the journal (default: derived from the start time)")
+	outDir := flag.String("out", "", "also write each experiment's table to this directory (atomic writes, one stable filename per experiment)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed cell before it is marked failed in the journal")
+	retryBackoff := flag.Duration("retry-backoff", 2*time.Second, "base wait between cell retry attempts (doubles each retry)")
+	heapMB := flag.Uint64("heap-watermark-mb", 0, "soft heap watermark in MiB: above it, results already persisted to the store are shed from memory (0 = off)")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -79,6 +98,8 @@ func main() {
 
 	engine := sweep.New(*par)
 	engine.SetCellTimeout(*cellTimeout)
+	engine.SetRetry(*retries, *retryBackoff)
+	engine.SetHeapWatermark(*heapMB << 20)
 	rep := &reporter{}
 	if !*quiet {
 		engine.Observe(rep.observe)
@@ -95,16 +116,29 @@ func main() {
 	} else {
 		names = strings.Split(*exp, ",")
 	}
+	for _, name := range names {
+		if _, ok := reg[name]; !ok {
+			fmt.Fprintf(os.Stderr, "secbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+	}
+
+	st, journal := openDurability(*storeDir, *resume, *runID, names, p)
+	engine.SetStore(st)
+	engine.SetJournal(journal)
+	defer journal.Close()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	start := time.Now()
 	failed := 0
 	interrupted := false
 	for _, name := range names {
-		fn, ok := reg[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "secbench: unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
-		}
+		fn := reg[name]
 		rep.name = name
 		expStart := time.Now()
 		table, err := fn(ctx, p)
@@ -120,24 +154,118 @@ func main() {
 			failed++
 			continue
 		}
+		rendered := table.String()
 		if *csv {
-			fmt.Print(table.CSV())
-		} else {
-			fmt.Print(table.String())
+			rendered = table.CSV()
 		}
+		fmt.Print(rendered)
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(expStart).Seconds())
+		if *outDir != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, name+ext)
+			if err := store.WriteFileAtomic(path, []byte(rendered)); err != nil {
+				fmt.Fprintf(os.Stderr, "secbench: write %s: %v\n", path, err)
+				failed++
+			}
+		}
 	}
 
-	st := engine.Stats()
+	es := engine.Stats()
 	fmt.Fprintf(os.Stderr,
 		"sweep summary: %d cells requested, %d simulated, %d deduplicated (cache hits), %d failed; %.1fs simulation time in %.1fs wall\n",
-		st.Cells, st.Simulated, st.CacheHits, st.Failed,
-		st.SimTime.Seconds(), time.Since(start).Seconds())
+		es.Cells, es.Simulated, es.CacheHits, es.Failed,
+		es.SimTime.Seconds(), time.Since(start).Seconds())
+	if st != nil {
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr,
+			"store summary: %d restored from store, %d persisted, %d quarantined, %d retries, %d shed; journal %s\n",
+			es.StoreHits, ss.Puts, ss.Quarantined, es.Retries, es.Shed, journal.Path())
+	}
+	if err := journal.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "secbench: journal writes failed (results are still persisted): %v\n", err)
+	}
 	switch {
 	case interrupted:
 		fmt.Fprintln(os.Stderr, "secbench: interrupted; tables printed above are complete, the rest were skipped")
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "secbench: resume with -store %s -resume %s\n", *storeDir, journalRunID(journal))
+		}
 		os.Exit(130)
 	case failed > 0:
 		os.Exit(1)
 	}
+}
+
+// openDurability wires up the optional store and journal: a fresh run
+// creates a new journal, -resume replays and verifies an existing one.
+// Both return nil when -store is unset.
+func openDurability(storeDir, resume, runID string, names []string, p experiments.Params) (*store.Store, *store.Journal) {
+	if storeDir == "" {
+		if resume != "" {
+			fatal(errors.New("-resume requires -store"))
+		}
+		return nil, nil
+	}
+	simDigest := store.BinaryDigest()
+	st, err := store.Open(storeDir, store.Options{SimDigest: simDigest})
+	if err != nil {
+		fatal(err)
+	}
+	info := store.RunInfo{
+		ID:        runID,
+		SimDigest: simDigest,
+		Exps:      names,
+		GPUs:      p.GPUs,
+		Scale:     p.Scale,
+		Seed:      p.Seed,
+		Workloads: p.Workloads,
+	}
+
+	if resume != "" {
+		info.ID = resume
+		path := st.JournalPath(resume)
+		rep, err := store.ReplayJournal(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Info.Verify(info); err != nil {
+			fatal(err)
+		}
+		if rep.Info.SimDigest != simDigest {
+			fmt.Fprintln(os.Stderr, "secbench: warning: binary changed since this run started; persisted results will be invalidated and re-simulated")
+		}
+		journal, err := store.OpenJournalAppend(path, info)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"secbench: resuming run %s (attempt %d): %d cells already persisted, %d failed, %d corrupt journal records tolerated\n",
+			resume, rep.Resumes+1, len(rep.Done), len(rep.Failed), rep.Corrupt)
+		return st, journal
+	}
+
+	if info.ID == "" {
+		info.ID = "r" + time.Now().UTC().Format("20060102-150405")
+	}
+	journal, err := store.CreateJournal(st.JournalPath(info.ID), info)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "secbench: journaling run %s to %s\n", info.ID, journal.Path())
+	return st, journal
+}
+
+// journalRunID recovers the run ID from the journal path for the resume
+// hint printed on interruption.
+func journalRunID(j *store.Journal) string {
+	base := filepath.Base(j.Path())
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secbench:", err)
+	os.Exit(2)
 }

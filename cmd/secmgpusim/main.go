@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"secmgpu"
+	"secmgpu/internal/store"
+	"secmgpu/internal/sweep"
 )
 
 func main() {
@@ -33,6 +36,7 @@ func main() {
 	corruptRate := flag.Float64("corrupt-rate", 0, "per-link probability of corrupting a protected message in flight")
 	dupRate := flag.Float64("dup-rate", 0, "per-link probability of duplicating a protected message in flight")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault profile's per-link generators")
+	storeDir := flag.String("store", "", "durable result store directory: identical runs are served from disk instead of re-simulating")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -80,16 +84,38 @@ func main() {
 
 	opt := secmgpu.RunOptions{Functional: *functional}
 
+	// With -store, runs route through a store-backed sweep engine, so a
+	// (config, workload) pair already simulated by any run sharing the
+	// directory — this tool or a secbench campaign — is served from disk.
+	run := secmgpu.Run
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{SimDigest: store.BinaryDigest()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secmgpusim:", err)
+			os.Exit(1)
+		}
+		eng := sweep.New(1)
+		eng.SetStore(st)
+		run = func(cfg secmgpu.Config, spec secmgpu.WorkloadSpec, opt secmgpu.RunOptions) (*secmgpu.Result, error) {
+			res, err := eng.Run(context.Background(),
+				[]sweep.Cell{{Spec: spec, Cfg: cfg, Opt: opt, Label: spec.Abbr}}, 1)
+			if err != nil {
+				return nil, err
+			}
+			return res[0], nil
+		}
+	}
+
 	base := cfg
 	base.Secure = false
-	ub, err := secmgpu.Run(base, spec, opt)
+	ub, err := run(base, spec, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secmgpusim: baseline:", err)
 		os.Exit(1)
 	}
 	res := ub
 	if cfg.Secure {
-		res, err = secmgpu.Run(cfg, spec, opt)
+		res, err = run(cfg, spec, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secmgpusim:", err)
 			os.Exit(1)

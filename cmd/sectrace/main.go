@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"secmgpu/internal/store"
 	"secmgpu/internal/workload"
 )
 
@@ -48,15 +49,17 @@ func main() {
 		ops = spec.Trace(*gpu, *gpus, *scale, *seed)
 		fmt.Printf("trace      %s GPU%d/%d scale %.2f seed %d\n", spec.Abbr, *gpu, *gpus, *scale, *seed)
 		if *out != "" {
-			f, err := os.Create(*out)
+			// Atomic write: an interrupted dump leaves either no file
+			// or the previous complete one, never a truncated trace.
+			f, err := store.CreateAtomic(*out)
 			if err != nil {
 				fatal(err)
 			}
 			if err := workload.WriteTrace(f, ops); err != nil {
-				f.Close()
+				f.Abort()
 				fatal(err)
 			}
-			if err := f.Close(); err != nil {
+			if err := f.Commit(); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("written    %s\n", *out)

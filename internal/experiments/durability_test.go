@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"secmgpu/internal/store"
+	"secmgpu/internal/sweep"
+)
+
+// TestCancelResumeBitIdenticalTables is the end-to-end durability
+// contract: a campaign cancelled mid-run leaves a consistent journal
+// and a partially filled store, and a resumed run reuses every
+// persisted cell, simulates only the rest, and renders bit-identical
+// tables versus an uninterrupted run.
+func TestCancelResumeBitIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sweep simulation in -short mode")
+	}
+	params := func(eng *sweep.Engine) Params {
+		return Params{GPUs: 4, Scale: 0.02, Seed: 1, Workloads: []string{"mm", "syr2k"}, Parallelism: 1, Engine: eng}
+	}
+
+	// Reference: uninterrupted, no durability at all.
+	ref, err := Fig21(context.Background(), params(sweep.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.String()
+
+	// Interrupted attempt: cancel after the second completed cell.
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SimDigest: "test-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := store.RunInfo{ID: "t1", SimDigest: "test-sim", Exps: []string{"fig21"}, GPUs: 4, Scale: 0.02, Seed: 1, Workloads: []string{"mm", "syr2k"}}
+	j1, err := store.CreateJournal(st.JournalPath("t1"), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := sweep.New(1)
+	eng1.SetStore(st)
+	eng1.SetJournal(j1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	eng1.Observe(func(ev sweep.Event) {
+		done++
+		if done == 2 {
+			cancel()
+		}
+	})
+	if _, err := Fig21(ctx, params(eng1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	j1.Close()
+
+	// The journal is consistent after the interruption: replayable, no
+	// corrupt records, every completed cell also started, and at least
+	// one cell made it to disk before the cancellation.
+	rep, err := store.ReplayJournal(st.JournalPath("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 0 {
+		t.Errorf("journal has %d corrupt records after a clean cancel", rep.Corrupt)
+	}
+	if len(rep.Done) == 0 {
+		t.Fatal("no cells persisted before cancellation")
+	}
+	for cell := range rep.Done {
+		if _, ok := rep.Started[cell]; !ok {
+			t.Errorf("cell %s done but never started", cell)
+		}
+	}
+	if err := rep.Info.Verify(info); err != nil {
+		t.Errorf("replayed run info does not verify: %v", err)
+	}
+
+	// Resume: a fresh engine on the same store replays persisted cells
+	// from disk and simulates only the remainder.
+	j2, err := store.OpenJournalAppend(st.JournalPath("t1"), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sweep.New(1)
+	eng2.SetStore(st)
+	eng2.SetJournal(j2)
+	got, err := Fig21(context.Background(), params(eng2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	if got.String() != want {
+		t.Errorf("resumed table differs from the uninterrupted run:\nresumed:\n%s\nuninterrupted:\n%s", got.String(), want)
+	}
+	es := eng2.Stats()
+	if es.StoreHits != len(rep.Done) {
+		t.Errorf("resume restored %d cells, want %d (every persisted cell reused)", es.StoreHits, len(rep.Done))
+	}
+	if es.Simulated == 0 {
+		t.Error("resume simulated nothing; the cancel apparently interrupted nothing")
+	}
+
+	// The final journal accounts for every unique cell exactly once:
+	// restored ones from the first attempt, simulated ones from the
+	// resume.
+	rep2, err := store.ReplayJournal(st.JournalPath("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumes != 1 {
+		t.Errorf("resumes=%d, want 1", rep2.Resumes)
+	}
+	if len(rep2.Restored) != len(rep.Done) {
+		t.Errorf("journal restored=%d, want %d", len(rep2.Restored), len(rep.Done))
+	}
+	// Done accumulates across both attempts, so it now names every
+	// unique cell of the campaign: first-attempt cells were restored,
+	// the rest simulated on resume.
+	if len(rep2.Done) != es.Simulated+es.StoreHits {
+		t.Errorf("journal accounts for %d cells, engine saw %d", len(rep2.Done), es.Simulated+es.StoreHits)
+	}
+	if len(rep2.Failed) != 0 {
+		t.Errorf("failed cells in journal after a successful resume: %v", rep2.Failed)
+	}
+}

@@ -1,6 +1,7 @@
 package interconnect
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -354,3 +355,62 @@ func (s *Stats) NodeSentBytes(n NodeID) uint64 { return s.perNodeSent[n] }
 
 // NodeReceivedBytes returns bytes ejected at the node.
 func (s *Stats) NodeReceivedBytes(n NodeID) uint64 { return s.perNodeRecved[n] }
+
+// statsJSON is the wire form of Stats: the durable result store
+// round-trips results through JSON, and the per-node slices are
+// unexported.
+type statsJSON struct {
+	Messages        uint64   `json:"messages"`
+	BaseBytes       uint64   `json:"base"`
+	MetaBytes       uint64   `json:"meta"`
+	MemProtBytes    uint64   `json:"memprot"`
+	ByCategory      []uint64 `json:"bycat"`
+	PerNodeSent     []uint64 `json:"sent,omitempty"`
+	PerNodeRecved   []uint64 `json:"recved,omitempty"`
+	FaultDropped    uint64   `json:"fdrop,omitempty"`
+	FaultCorrupted  uint64   `json:"fcorrupt,omitempty"`
+	FaultDuplicated uint64   `json:"fdup,omitempty"`
+}
+
+// MarshalJSON encodes the complete traffic accounting, per-node slices
+// included.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		Messages:        s.Messages,
+		BaseBytes:       s.BaseBytes,
+		MetaBytes:       s.MetaBytes,
+		MemProtBytes:    s.MemProtBytes,
+		ByCategory:      s.ByCategory[:],
+		PerNodeSent:     s.perNodeSent,
+		PerNodeRecved:   s.perNodeRecved,
+		FaultDropped:    s.FaultDropped,
+		FaultCorrupted:  s.FaultCorrupted,
+		FaultDuplicated: s.FaultDuplicated,
+	})
+}
+
+// UnmarshalJSON decodes Stats, rejecting a category vector whose length
+// disagrees with this build (an older binary's entry) instead of
+// silently dropping buckets.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var d statsJSON
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	if len(d.ByCategory) != int(numCategories) {
+		return fmt.Errorf("interconnect: %d traffic categories on disk, want %d", len(d.ByCategory), int(numCategories))
+	}
+	*s = Stats{
+		Messages:        d.Messages,
+		BaseBytes:       d.BaseBytes,
+		MetaBytes:       d.MetaBytes,
+		MemProtBytes:    d.MemProtBytes,
+		perNodeSent:     d.PerNodeSent,
+		perNodeRecved:   d.PerNodeRecved,
+		FaultDropped:    d.FaultDropped,
+		FaultCorrupted:  d.FaultCorrupted,
+		FaultDuplicated: d.FaultDuplicated,
+	}
+	copy(s.ByCategory[:], d.ByCategory)
+	return nil
+}

@@ -1,6 +1,7 @@
 package interconnect
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -336,5 +337,39 @@ func TestSwitchTopologyAddsHopLatency(t *testing.T) {
 	p2p, sw := mk(TopologyP2P), mk(TopologySwitch)
 	if sw <= p2p {
 		t.Errorf("switch path %d not slower than p2p %d for a single message", sw, p2p)
+	}
+}
+
+func TestTrafficStatsJSONRoundTrip(t *testing.T) {
+	s := newStats(5)
+	s.record(&Message{Src: 1, Dst: 3, BaseBytes: 64, MetaBytes: 16, Category: CatData})
+	s.record(&Message{Src: 2, Dst: 0, BaseBytes: 64, MemProtBytes: 8, Category: CatData})
+	s.FaultDropped = 2
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBytes() != s.TotalBytes() || got.Messages != s.Messages {
+		t.Fatalf("round-trip total=%d msgs=%d, want %d/%d", got.TotalBytes(), got.Messages, s.TotalBytes(), s.Messages)
+	}
+	for n := 0; n < 5; n++ {
+		id := NodeID(n)
+		if got.NodeSentBytes(id) != s.NodeSentBytes(id) || got.NodeReceivedBytes(id) != s.NodeReceivedBytes(id) {
+			t.Errorf("node %d per-node bytes lost in round-trip", n)
+		}
+	}
+	if got.ByCategory != s.ByCategory {
+		t.Errorf("category vector lost: %v != %v", got.ByCategory, s.ByCategory)
+	}
+	if got.FaultDropped != 2 {
+		t.Errorf("fault counters lost")
+	}
+	// A category vector from a different build is rejected.
+	if err := json.Unmarshal([]byte(`{"messages":1,"bycat":[1,2]}`), &got); err == nil {
+		t.Error("accepted a mis-sized category vector")
 	}
 }

@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,6 +116,51 @@ func (h *Histogram) String() string {
 	return strings.TrimSpace(b.String())
 }
 
+// histogramJSON is the wire form of a Histogram: the durable result
+// store round-trips simulation results through JSON, and the collector
+// fields are unexported.
+type histogramJSON struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+}
+
+// MarshalJSON encodes the histogram's bounds, counts, and total.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Bounds: h.bounds, Counts: h.counts, Total: h.total})
+}
+
+// UnmarshalJSON decodes and validates a histogram. Invalid shapes —
+// non-ascending bounds, a count/bound length mismatch, or a total that
+// disagrees with the counts (a flipped bit) — are errors, never panics,
+// so a corrupt persisted result is rejected instead of trusted.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var d histogramJSON
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	if len(d.Bounds) == 0 {
+		return fmt.Errorf("metrics: histogram with no bounds")
+	}
+	for i := 1; i < len(d.Bounds); i++ {
+		if d.Bounds[i] <= d.Bounds[i-1] {
+			return fmt.Errorf("metrics: histogram bounds not ascending")
+		}
+	}
+	if len(d.Counts) != len(d.Bounds)+1 {
+		return fmt.Errorf("metrics: histogram has %d counts for %d bounds", len(d.Counts), len(d.Bounds))
+	}
+	var sum uint64
+	for _, c := range d.Counts {
+		sum += c
+	}
+	if sum != d.Total {
+		return fmt.Errorf("metrics: histogram total %d != summed counts %d", d.Total, sum)
+	}
+	h.bounds, h.counts, h.total = d.Bounds, d.Counts, d.Total
+	return nil
+}
+
 // Series records per-interval samples of a set of named lanes, e.g. the
 // send/receive request mix per 10K-cycle window in Figure 13.
 type Series struct {
@@ -150,6 +196,40 @@ func (s *Series) Lanes() []string { return s.lanes }
 // Rows returns all flushed intervals. The returned slice is owned by the
 // series; callers must not mutate it.
 func (s *Series) Rows() [][]uint64 { return s.rows }
+
+// seriesJSON is the wire form of a Series (see histogramJSON).
+type seriesJSON struct {
+	Lanes   []string   `json:"lanes"`
+	Rows    [][]uint64 `json:"rows,omitempty"`
+	Current []uint64   `json:"current"`
+}
+
+// MarshalJSON encodes the series' lanes, flushed rows, and open interval.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{Lanes: s.lanes, Rows: s.rows, Current: s.current})
+}
+
+// UnmarshalJSON decodes and validates a series; any row whose width
+// disagrees with the lane count is an error, never a panic.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var d seriesJSON
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	if len(d.Lanes) == 0 {
+		return fmt.Errorf("metrics: series with no lanes")
+	}
+	if len(d.Current) != len(d.Lanes) {
+		return fmt.Errorf("metrics: series current width %d for %d lanes", len(d.Current), len(d.Lanes))
+	}
+	for _, row := range d.Rows {
+		if len(row) != len(d.Lanes) {
+			return fmt.Errorf("metrics: series row width %d for %d lanes", len(row), len(d.Lanes))
+		}
+	}
+	s.lanes, s.rows, s.current = d.Lanes, d.Rows, d.Current
+	return nil
+}
 
 // FractionRows returns each interval normalized so lanes sum to 1
 // (all-zero intervals stay zero).

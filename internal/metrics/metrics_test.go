@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -141,4 +142,78 @@ func TestSeriesEmptyLanesPanics(t *testing.T) {
 		}
 	}()
 	NewSeries()
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(40, 160, 640)
+	for _, v := range []uint64{3, 50, 200, 9000, 41} {
+		h.Observe(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != h.Total() || got.NumBuckets() != h.NumBuckets() {
+		t.Fatalf("round-trip total=%d buckets=%d, want %d/%d", got.Total(), got.NumBuckets(), h.Total(), h.NumBuckets())
+	}
+	for i := 0; i < h.NumBuckets(); i++ {
+		if got.Bucket(i) != h.Bucket(i) {
+			t.Errorf("bucket %d: %d != %d", i, got.Bucket(i), h.Bucket(i))
+		}
+	}
+	// Corruption is an error, never a panic or a silent accept.
+	bad := []string{
+		`{"bounds":[],"counts":[0],"total":0}`,
+		`{"bounds":[40,40],"counts":[0,0,0],"total":0}`,
+		`{"bounds":[40,160],"counts":[1,2],"total":3}`,
+		`{"bounds":[40],"counts":[1,2],"total":9}`,
+	}
+	for _, s := range bad {
+		var h2 Histogram
+		if err := json.Unmarshal([]byte(s), &h2); err == nil {
+			t.Errorf("accepted corrupt histogram %s", s)
+		}
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := NewSeries("send", "recv")
+	s.Add(0, 5)
+	s.Flush()
+	s.Add(1, 7)
+	s.Flush()
+	s.Add(0, 2) // open interval survives the round-trip too
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Lanes()) != 2 || got.Lanes()[1] != "recv" {
+		t.Fatalf("lanes=%v", got.Lanes())
+	}
+	if len(got.Rows()) != 2 || got.Rows()[0][0] != 5 || got.Rows()[1][1] != 7 {
+		t.Fatalf("rows=%v", got.Rows())
+	}
+	got.Flush()
+	if rows := got.Rows(); rows[2][0] != 2 {
+		t.Errorf("open interval lost: %v", rows[2])
+	}
+	bad := []string{
+		`{"lanes":[],"current":[]}`,
+		`{"lanes":["a"],"current":[1,2]}`,
+		`{"lanes":["a","b"],"rows":[[1]],"current":[0,0]}`,
+	}
+	for _, raw := range bad {
+		var s2 Series
+		if err := json.Unmarshal([]byte(raw), &s2); err == nil {
+			t.Errorf("accepted corrupt series %s", raw)
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// DigestJSON returns the hex SHA-256 of v's canonical JSON encoding.
+// Struct fields marshal in declaration order, so flat config structs
+// digest deterministically across runs of the same binary.
+func DigestJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+var (
+	binDigestOnce sync.Once
+	binDigest     string
+)
+
+// BinaryDigest returns the hex SHA-256 of the running executable — the
+// simulator digest stamped into store entries and journals. A rebuilt
+// binary hashes differently, so persisted results from an older
+// simulator are invalidated instead of silently reused; an unreadable
+// executable degrades to "unknown", which still round-trips (an
+// "unknown" entry matches only another "unknown" run).
+func BinaryDigest() string {
+	binDigestOnce.Do(func() {
+		binDigest = "unknown"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		binDigest = hex.EncodeToString(h.Sum(nil))
+	})
+	return binDigest
+}

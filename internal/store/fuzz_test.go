@@ -1,0 +1,132 @@
+package store_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"secmgpu/internal/store"
+)
+
+// journalSeed builds a small valid journal for seeding the fuzzer.
+func journalSeed(t testing.TB) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.jsonl")
+	j, err := store.CreateJournal(path, store.RunInfo{ID: "t1", SimDigest: "s", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(store.Record{T: store.RecStart, Cell: "aa", Label: "mm", Attempt: 1})
+	j.Append(store.Record{T: store.RecDone, Cell: "aa", Label: "mm", Millis: 3})
+	j.Append(store.Record{T: store.RecFailed, Cell: "bb", Attempt: 1, Err: "boom"})
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzReplayJournal pins the journal decoder's robustness contract:
+// truncated, bit-flipped, duplicated, or arbitrary bytes must replay
+// without panicking — damaged records are quarantined (counted corrupt,
+// skipped), and nothing unverified is ever trusted.
+func FuzzReplayJournal(f *testing.F) {
+	seed := journalSeed(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])         // torn tail
+	f.Add(append(seed, seed...))      // duplicated records
+	f.Add([]byte("{"))                // bare torn record
+	f.Add([]byte("\n\n\n"))           // blank lines
+	f.Add([]byte(`{"t":"run"}`))      // header without run info
+	f.Add([]byte{0xff, 0xfe, 0x00})   // binary garbage
+	flip := append([]byte{}, seed...) // single flipped bit mid-file
+	flip[len(flip)/2] ^= 0x20
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		rep, err := store.ReplayJournal(path)
+		if err != nil {
+			return // unreadable or headerless is a reported error, fine
+		}
+		// Any record the replay trusted must have carried a valid
+		// checksum; spot-check internal consistency instead.
+		if rep.Records < 1 {
+			t.Fatal("replay succeeded with no verified records")
+		}
+		for cell := range rep.Failed {
+			if _, ok := rep.Done[cell]; ok {
+				t.Fatalf("cell %q both done and failed", cell)
+			}
+		}
+	})
+}
+
+// entrySeed builds one valid store entry file for seeding the fuzzer.
+func entrySeed(t testing.TB) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SimDigest: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := "abfeed01"
+	if err := st.Put(dig, "mm", nil); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob: %v (%d)", err, len(matches))
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzEntryDecode pins the result-store decoder: arbitrary bytes in an
+// entry's slot must either verify completely or quarantine — never
+// panic, and never serve a result whose checksum does not match.
+func FuzzEntryDecode(f *testing.F) {
+	seed := entrySeed(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated file
+	f.Add([]byte("{}"))       // empty object
+	f.Add([]byte("null"))     // JSON null
+	f.Add([]byte{0x00, 0x01}) // binary garbage
+	flip := append([]byte{}, seed...)
+	flip[len(flip)/3] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		st, err := store.Open(dir, store.Options{SimDigest: "s"})
+		if err != nil {
+			t.Skip()
+		}
+		const dig = "abfeed01"
+		path := filepath.Join(dir, "objects", dig[:2], dig+".json")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Skip()
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		res, ok := st.Get(dig)
+		if ok {
+			// A served entry must round-trip as valid JSON (it passed
+			// format, digest, and checksum verification).
+			if _, err := json.Marshal(res); err != nil {
+				t.Fatalf("served result does not re-encode: %v", err)
+			}
+		} else if _, statErr := os.Stat(path); statErr == nil {
+			t.Fatal("failed entry neither served nor quarantined")
+		}
+	})
+}
