@@ -12,7 +12,6 @@ package secmgpu
 // size is 1.0).
 
 import (
-	"fmt"
 	"os"
 	"strconv"
 	"testing"
@@ -34,19 +33,47 @@ func benchParams() ExperimentParams {
 }
 
 // reportColumns attaches each column's mean-row value as a benchmark
-// metric, normalizing names for the benchstat-friendly output.
+// metric, named after the experiment column itself (normalized for
+// benchstat: lowercase, with runs of non-alphanumerics collapsed to "_")
+// so the -bench output reads as the paper's tables do.
 func reportColumns(b *testing.B, t *ExperimentTable) {
 	b.Helper()
 	mean := t.MeanRow()
 	for i, col := range t.Columns {
-		name := fmt.Sprintf("c%02d_avg", i)
-		b.ReportMetric(mean.Values[i], name)
-		_ = col
+		b.ReportMetric(mean.Values[i], metricName(col)+"_avg")
 	}
+}
+
+// metricName normalizes an experiment column label into a benchstat-safe
+// metric unit.
+func metricName(col string) string {
+	out := make([]byte, 0, len(col))
+	pendingSep := false
+	for i := 0; i < len(col); i++ {
+		c := col[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			if pendingSep && len(out) > 0 {
+				out = append(out, '_')
+			}
+			pendingSep = false
+			out = append(out, c)
+		default:
+			pendingSep = true
+		}
+	}
+	if len(out) == 0 {
+		return "col"
+	}
+	return string(out)
 }
 
 func runExperimentBench(b *testing.B, name string, p ExperimentParams) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A fresh engine per iteration keeps the benchmark measuring
 		// simulation, not the sweep engine's result cache.
@@ -206,6 +233,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg.Secure = true
 	cfg.Scheme = SchemeDynamic
 	cfg.Batching = true
+	b.ReportAllocs()
 	var ops uint64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg, spec, RunOptions{})

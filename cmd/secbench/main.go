@@ -38,9 +38,14 @@ import (
 	"time"
 
 	"secmgpu/internal/experiments"
+	"secmgpu/internal/prof"
 	"secmgpu/internal/store"
 	"secmgpu/internal/sweep"
 )
+
+// stopProfiles flushes any active -cpuprofile/-memprofile before the
+// process exits; fatal and the explicit os.Exit paths all route through it.
+var stopProfiles = func() {}
 
 // reporter is the live stderr progress view of the sweep engine: one
 // rewritten status line per completed cell, cleared before tables print.
@@ -85,7 +90,16 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for a failed cell before it is marked failed in the journal")
 	retryBackoff := flag.Duration("retry-backoff", 2*time.Second, "base wait between cell retry attempts (doubles each retry)")
 	heapMB := flag.Uint64("heap-watermark-mb", 0, "soft heap watermark in MiB: above it, results already persisted to the store are shed from memory (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	reg := experiments.Registry()
 	if *list {
@@ -119,6 +133,7 @@ func main() {
 	for _, name := range names {
 		if _, ok := reg[name]; !ok {
 			fmt.Fprintf(os.Stderr, "secbench: unknown experiment %q (use -list)\n", name)
+			stopProfiles()
 			os.Exit(2)
 		}
 	}
@@ -193,8 +208,10 @@ func main() {
 		if journal != nil {
 			fmt.Fprintf(os.Stderr, "secbench: resume with -store %s -resume %s\n", *storeDir, journalRunID(journal))
 		}
+		stopProfiles()
 		os.Exit(130)
 	case failed > 0:
+		stopProfiles()
 		os.Exit(1)
 	}
 }
@@ -267,5 +284,6 @@ func journalRunID(j *store.Journal) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "secbench:", err)
+	stopProfiles()
 	os.Exit(2)
 }

@@ -18,9 +18,21 @@ import (
 	"strings"
 
 	"secmgpu"
+	"secmgpu/internal/prof"
 	"secmgpu/internal/store"
 	"secmgpu/internal/sweep"
 )
+
+// stopProfiles flushes any active -cpuprofile/-memprofile before the
+// process exits; die and main's return path both route through it.
+var stopProfiles = func() {}
+
+// die reports err and exits with the given code, flushing profiles first.
+func die(code int, args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"secmgpusim:"}, args...)...)
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	wl := flag.String("workload", "mm", "workload abbreviation (see -list)")
@@ -38,7 +50,16 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault profile's per-link generators")
 	storeDir := flag.String("store", "", "durable result store directory: identical runs are served from disk instead of re-simulating")
 	list := flag.Bool("list", false, "list workloads and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		die(2, err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	if *list {
 		fmt.Printf("%-8s %-22s %-12s %s\n", "abbr", "name", "suite", "class")
@@ -50,8 +71,7 @@ func main() {
 
 	spec, err := secmgpu.WorkloadByAbbr(*wl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "secmgpusim:", err)
-		os.Exit(2)
+		die(2, err)
 	}
 
 	cfg := secmgpu.DefaultConfig(*gpus)
@@ -78,8 +98,7 @@ func main() {
 	case "dynamic":
 		cfg.Secure, cfg.Scheme = true, secmgpu.SchemeDynamic
 	default:
-		fmt.Fprintf(os.Stderr, "secmgpusim: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		die(2, fmt.Sprintf("unknown scheme %q", *schemeName))
 	}
 
 	opt := secmgpu.RunOptions{Functional: *functional}
@@ -91,8 +110,7 @@ func main() {
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{SimDigest: store.BinaryDigest()})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "secmgpusim:", err)
-			os.Exit(1)
+			die(1, err)
 		}
 		eng := sweep.New(1)
 		eng.SetStore(st)
@@ -110,15 +128,13 @@ func main() {
 	base.Secure = false
 	ub, err := run(base, spec, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "secmgpusim: baseline:", err)
-		os.Exit(1)
+		die(1, "baseline:", err)
 	}
 	res := ub
 	if cfg.Secure {
 		res, err = run(cfg, spec, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "secmgpusim:", err)
-			os.Exit(1)
+			die(1, err)
 		}
 	}
 

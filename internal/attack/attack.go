@@ -259,11 +259,9 @@ func (in *Injector) Deliver(now sim.Cycle, msg *interconnect.Message) {
 	}
 }
 
+// cloneMsg deep-copies a message for tampering or re-injection. Delivered
+// messages are pooled and recycled after delivery, so the copy must own its
+// envelope and ciphertext outright.
 func cloneMsg(msg *interconnect.Message) *interconnect.Message {
-	c := *msg
-	if msg.Sec != nil {
-		sec := *msg.Sec
-		c.Sec = &sec
-	}
-	return &c
+	return msg.Clone()
 }

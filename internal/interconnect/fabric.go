@@ -79,6 +79,11 @@ type Fabric struct {
 	faults   FaultConfig
 	faultRNG [][]*rand.Rand
 
+	// deliverH is the single Handler used for every arrival event, with
+	// the message itself as the (pointer, hence unboxed) event payload —
+	// scheduling a delivery allocates nothing.
+	deliverH sim.Handler
+
 	stats Stats
 }
 
@@ -175,6 +180,7 @@ func NewFabric(engine *sim.Engine, cfg FabricConfig) *Fabric {
 		faults:     cfg.Faults,
 		stats:      newStats(n),
 	}
+	f.deliverH = sim.HandlerFunc(f.deliverEvent)
 	if cfg.Faults.Active() {
 		f.faultRNG = make([][]*rand.Rand, n)
 		for s := 0; s < n; s++ {
@@ -282,6 +288,7 @@ func (f *Fabric) Send(msg *Message) {
 		switch {
 		case r < f.faults.DropRate:
 			f.stats.FaultDropped++
+			msg.Release()
 			return
 		case r < f.faults.DropRate+f.faults.CorruptRate:
 			f.stats.FaultCorrupted++
@@ -292,20 +299,24 @@ func (f *Fabric) Send(msg *Message) {
 			}
 		case r < f.faults.DropRate+f.faults.CorruptRate+f.faults.DuplicateRate:
 			f.stats.FaultDuplicated++
-			dup := *msg
-			if msg.Sec != nil {
-				sec := *msg.Sec
-				dup.Sec = &sec
-			}
-			f.engine.Schedule(t+duplicateDelay, sim.HandlerFunc(func(sim.Event) {
-				f.deliverers[dup.Dst].Deliver(f.engine.Now(), &dup)
-			}), nil)
+			// The duplicate outlives the original's delivery, so it must
+			// own its envelope and ciphertext.
+			f.engine.Schedule(t+duplicateDelay, f.deliverH, msg.Clone())
 		}
 	}
 
-	f.engine.Schedule(t, sim.HandlerFunc(func(sim.Event) {
-		f.deliverers[msg.Dst].Deliver(f.engine.Now(), msg)
-	}), nil)
+	f.engine.Schedule(t, f.deliverH, msg)
+}
+
+// deliverEvent hands an arrived message to its destination and, unless the
+// receiver retained it, returns a pooled message to the pool. This is the
+// release point of the pooling ownership protocol (see AcquireMessage).
+func (f *Fabric) deliverEvent(ev sim.Event) {
+	msg := ev.Payload.(*Message)
+	f.deliverers[msg.Dst].Deliver(f.engine.Now(), msg)
+	if !msg.retained {
+		msg.Release()
+	}
 }
 
 // Stats returns the accumulated traffic statistics.

@@ -6,7 +6,10 @@
 // behind the paper's traffic results (Figures 11, 12, and 23).
 package interconnect
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a processor on the fabric. The CPU is node 0 and GPUs
 // are numbered from 1, matching the paper's "CPU and 3 GPUs" peer counting.
@@ -162,7 +165,96 @@ type Message struct {
 	// Functional runs also flip a ciphertext bit so real MAC verification
 	// fails; timing-only runs use the flag itself to model detection.
 	Corrupted bool
+
+	// secBuf is the inline envelope AttachSec points Sec at, so a pooled
+	// message carries its security metadata without a second allocation.
+	secBuf SecEnvelope
+	// cipherBuf is the inline ciphertext block CipherBuf exposes; one data
+	// block fits exactly (CipherBlockBytes = the 64B block size).
+	cipherBuf [CipherBlockBytes]byte
+
+	// pooled/retained drive the delivery-time release protocol; see
+	// AcquireMessage.
+	pooled   bool
+	retained bool
 }
+
+// CipherBlockBytes is the inline ciphertext capacity of a Message. It must
+// equal crypto.BlockBytes (asserted at compile time in internal/secure).
+const CipherBlockBytes = 64
+
+// msgPool recycles Messages across the simulation hot path. It is a
+// sync.Pool rather than a free list because the sweep engine runs many
+// independent simulations on parallel goroutines.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a zeroed pooled message.
+//
+// Ownership protocol: the sender owns the message until Fabric.Send; from
+// then the fabric owns it and releases it back to the pool after the
+// destination's Deliver returns (or immediately on a fault-drop). A
+// receiver that needs the message beyond its Deliver call — e.g. lazy
+// verification delaying HandleData — must call Retain inside Deliver and
+// Release when done. Messages constructed as plain literals (tests, cold
+// paths) never enter the pool: Release is a no-op for them.
+func AcquireMessage() *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// Retain transfers ownership of a delivered message to the receiver: the
+// fabric will not release it after Deliver returns, and the receiver must
+// call Release when finished.
+func (m *Message) Retain() { m.retained = true }
+
+// Retained reports whether a receiver took ownership via Retain.
+func (m *Message) Retained() bool { return m.retained }
+
+// Release zeroes a pooled message and returns it to the pool. It is a
+// no-op on messages not obtained from AcquireMessage, so code paths that
+// build literal Messages need no special casing. After Release the caller
+// must not touch the message (or any Sec envelope / ciphertext attached to
+// it) again.
+func (m *Message) Release() {
+	if !m.pooled {
+		return
+	}
+	*m = Message{}
+	msgPool.Put(m)
+}
+
+// Clone returns an unpooled deep copy: the envelope and ciphertext are
+// owned by the copy, so it stays valid after the original is released.
+// Fault duplication and attack replay use it to re-inject messages whose
+// originals have independent lifetimes.
+func (m *Message) Clone() *Message {
+	c := new(Message)
+	*c = *m
+	c.pooled, c.retained = false, false
+	if m.Sec != nil {
+		c.secBuf = *m.Sec
+		c.Sec = &c.secBuf
+		if len(m.Sec.Ciphertext) > 0 {
+			c.Sec.Ciphertext = append([]byte(nil), m.Sec.Ciphertext...)
+		}
+	}
+	return c
+}
+
+// AttachSec points Sec at the message's inline envelope storage and
+// returns it zeroed. Senders use it instead of allocating a SecEnvelope
+// per protected message.
+func (m *Message) AttachSec() *SecEnvelope {
+	m.secBuf = SecEnvelope{}
+	m.Sec = &m.secBuf
+	return m.Sec
+}
+
+// CipherBuf returns the message's inline ciphertext block, for seal() to
+// encrypt into without a per-message allocation. The buffer's lifetime is
+// the message's: it dies at Release.
+func (m *Message) CipherBuf() []byte { return m.cipherBuf[:] }
 
 // Size returns the total wire size in bytes.
 func (m *Message) Size() int { return m.BaseBytes + m.MetaBytes + m.MemProtBytes }

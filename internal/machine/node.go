@@ -90,6 +90,95 @@ type node struct {
 	// Optional communication traces (Figures 13-14).
 	sendRecv *metrics.Series
 	dests    *metrics.Series
+
+	// evH is the cached handler for every event this node schedules;
+	// evFree recycles their pooled nodeEvent payloads (the node is
+	// single-goroutine, so a plain intrusive list suffices).
+	evH    sim.Handler
+	evFree *nodeEvent
+}
+
+// nodeEvent is the pooled typed payload behind every event a node
+// schedules: wakeups, issues deferred by a TLB walk, memory-service
+// completions, and the home side's delayed replies. One union with a
+// single cached handler replaces a closure allocation per event.
+type nodeEvent struct {
+	kind nodeEventKind
+	cu   int
+	src  interconnect.NodeID
+	id   uint64
+	addr uint64
+	op   workload.Op
+	page migration.PageID
+
+	next *nodeEvent
+}
+
+type nodeEventKind uint8
+
+const (
+	// evWake re-enters tryIssue at the scheduled wake cycle.
+	evWake nodeEventKind = iota
+	// evIssueTranslated resumes an operation after its TLB walk.
+	evIssueTranslated
+	// evComplete retires a local access once memory service finishes.
+	evComplete
+	// evWriteCommit acknowledges a remote write committed at this home.
+	evWriteCommit
+	// evServeRead sends the data response for a remote read.
+	evServeRead
+	// evMigrChunk streams one block of a migrating page.
+	evMigrChunk
+	// evMigrDone signals the end of a migration stream.
+	evMigrDone
+)
+
+func (n *node) newEvent(kind nodeEventKind) *nodeEvent {
+	ev := n.evFree
+	if ev == nil {
+		ev = &nodeEvent{}
+	} else {
+		n.evFree = ev.next
+		*ev = nodeEvent{}
+	}
+	ev.kind = kind
+	return ev
+}
+
+// onEvent dispatches a pooled node event. The payload is recycled before
+// dispatch (its fields are copied out first), so actions that schedule
+// follow-up events can reuse it immediately.
+func (n *node) onEvent(se sim.Event) {
+	ev := se.Payload.(*nodeEvent)
+	kind, cu, src, id, addr, op, page :=
+		ev.kind, ev.cu, ev.src, ev.id, ev.addr, ev.op, ev.page
+	ev.next = n.evFree
+	n.evFree = ev
+	now := n.engine().Now()
+	switch kind {
+	case evWake:
+		if n.wakeAt == now {
+			n.hasWake = false
+		}
+		n.tryIssue()
+	case evIssueTranslated:
+		if cu < 0 {
+			n.inFlight--
+		}
+		n.issueTranslated(now, op, page, addr, cu)
+	case evComplete:
+		n.complete(cu)
+	case evWriteCommit:
+		n.ep.SendControl(src, interconnect.KindWriteAck, id, addr, secure.CtrlBytes)
+	case evServeRead:
+		n.sys.noteDataBlock(n.id, src, now)
+		n.ep.SendData(src, interconnect.KindDataResp, id, addr, n.payloadFor(addr), n.id.IsCPU())
+	case evMigrChunk:
+		n.sys.noteDataBlock(n.id, src, now)
+		n.ep.SendData(src, interconnect.KindMigrChunk, id, addr, n.payloadFor(addr), n.id.IsCPU())
+	case evMigrDone:
+		n.ep.SendControl(src, interconnect.KindMigrDone, id, addr, secure.CtrlBytes)
+	}
 }
 
 // maxConcurrentMigrations bounds simultaneous inbound page migrations per
@@ -108,12 +197,7 @@ func (n *node) scheduleWake(at sim.Cycle) {
 	}
 	n.hasWake = true
 	n.wakeAt = at
-	n.engine().Schedule(at, sim.HandlerFunc(func(sim.Event) {
-		if n.wakeAt == n.engine().Now() {
-			n.hasWake = false
-		}
-		n.tryIssue()
-	}), nil)
+	n.engine().Schedule(at, n.evH, n.newEvent(evWake))
 }
 
 // tryIssue drains the trace while the outstanding-request window (flat
@@ -174,12 +258,9 @@ func (n *node) issue(now sim.Cycle, op workload.Op, cu int) {
 			if cu < 0 {
 				n.inFlight++
 			}
-			n.sys.engine.Schedule(now+lat, sim.HandlerFunc(func(sim.Event) {
-				if cu < 0 {
-					n.inFlight--
-				}
-				n.issueTranslated(n.engine().Now(), op, page, addr, cu)
-			}), nil)
+			ev := n.newEvent(evIssueTranslated)
+			ev.cu, ev.op, ev.page, ev.addr = cu, op, page, addr
+			n.sys.engine.Schedule(now+lat, n.evH, ev)
 			return
 		}
 	}
@@ -200,7 +281,9 @@ func (n *node) issueTranslated(now sim.Cycle, op workload.Op, page migration.Pag
 			n.inFlight++
 		}
 		done := now + n.memory.ServiceLatency(addr)
-		n.engine().Schedule(done, sim.HandlerFunc(func(sim.Event) { n.complete(cu) }), nil)
+		ev := n.newEvent(evComplete)
+		ev.cu = cu
+		n.engine().Schedule(done, n.evH, ev)
 		return
 	}
 
@@ -290,10 +373,9 @@ func (n *node) HandleData(now sim.Cycle, msg *interconnect.Message) {
 			n.sendRecv.Add(1, 1)
 		}
 		svc := n.memory.ServiceLatency(msg.Addr)
-		src, id, addr := msg.Src, msg.ReqID, msg.Addr
-		n.engine().Schedule(now+svc, sim.HandlerFunc(func(sim.Event) {
-			n.ep.SendControl(src, interconnect.KindWriteAck, id, addr, secure.CtrlBytes)
-		}), nil)
+		ev := n.newEvent(evWriteCommit)
+		ev.src, ev.id, ev.addr = msg.Src, msg.ReqID, msg.Addr
+		n.engine().Schedule(now+svc, n.evH, ev)
 
 	case interconnect.KindMigrChunk:
 		// Page data landing in our memory; completion is signalled by
@@ -312,11 +394,9 @@ func (n *node) HandleControl(now sim.Cycle, msg *interconnect.Message) {
 			n.sendRecv.Add(1, 1)
 		}
 		svc := n.memory.ServiceLatency(msg.Addr)
-		src, id, addr := msg.Src, msg.ReqID, msg.Addr
-		n.engine().Schedule(now+svc, sim.HandlerFunc(func(sim.Event) {
-			n.sys.noteDataBlock(n.id, src, n.engine().Now())
-			n.ep.SendData(src, interconnect.KindDataResp, id, addr, n.payloadFor(addr), n.id.IsCPU())
-		}), nil)
+		ev := n.newEvent(evServeRead)
+		ev.src, ev.id, ev.addr = msg.Src, msg.ReqID, msg.Addr
+		n.engine().Schedule(now+svc, n.evH, ev)
 
 	case interconnect.KindWriteAck:
 		ctx, ok := n.pending[msg.ReqID]
@@ -414,14 +494,11 @@ func (n *node) serveMigration(now sim.Cycle, msg *interconnect.Message) {
 	blocks := n.sys.cfg.PageSize / n.sys.cfg.BlockSize
 	svc := n.memory.ServiceLatency(msg.Addr)
 	for i := 0; i < blocks; i++ {
-		addr := addrOf(page, uint8(i))
-		at := now + svc + sim.Cycle(i)
-		n.engine().Schedule(at, sim.HandlerFunc(func(sim.Event) {
-			n.sys.noteDataBlock(n.id, src, n.engine().Now())
-			n.ep.SendData(src, interconnect.KindMigrChunk, id, addr, n.payloadFor(addr), n.id.IsCPU())
-		}), nil)
+		ev := n.newEvent(evMigrChunk)
+		ev.src, ev.id, ev.addr = src, id, addrOf(page, uint8(i))
+		n.engine().Schedule(now+svc+sim.Cycle(i), n.evH, ev)
 	}
-	n.engine().Schedule(now+svc+sim.Cycle(blocks), sim.HandlerFunc(func(sim.Event) {
-		n.ep.SendControl(src, interconnect.KindMigrDone, id, msg.Addr, secure.CtrlBytes)
-	}), nil)
+	ev := n.newEvent(evMigrDone)
+	ev.src, ev.id, ev.addr = src, id, msg.Addr
+	n.engine().Schedule(now+svc+sim.Cycle(blocks), n.evH, ev)
 }

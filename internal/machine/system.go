@@ -152,6 +152,7 @@ func New(cfg config.Config, traces [][]workload.Op, opt RunOptions) (*System, er
 			id:      interconnect.NodeID(id),
 			pending: make(map[uint64]pendingOp),
 		}
+		n.evH = sim.HandlerFunc(n.onEvent)
 		if n.id.IsCPU() {
 			n.memory = mem.HostDRAM(cfg.BlockSize)
 		} else {

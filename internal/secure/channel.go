@@ -8,6 +8,13 @@
 // realized: OTP stalls delay message injection and delivery, inline
 // metadata widens every data message, and ACK/Batched_MsgMAC packets add
 // messages of their own.
+//
+// The endpoint sits on the simulation hot path, so it is written for zero
+// steady-state allocations: wire messages come from the interconnect pool
+// and carry their envelope and ciphertext inline, scheduled actions are
+// pooled typed payloads (deferred) instead of closures, and the ACK/batch
+// timers are engine-level cancellable timers instead of epoch-revalidated
+// no-op events.
 package secure
 
 import (
@@ -20,6 +27,11 @@ import (
 	"secmgpu/internal/otp"
 	"secmgpu/internal/sim"
 )
+
+// The message pool's inline ciphertext block must hold exactly one crypto
+// block; a mismatch breaks seal() silently, so it is rejected at compile
+// time.
+var _ = [1]struct{}{}[crypto.BlockBytes-interconnect.CipherBlockBytes]
 
 // Wire sizes in bytes. The data path matches the paper's accounting: each
 // protected 64B transfer carries MsgCTR (8B), MsgMAC (8B) and sender ID
@@ -187,6 +199,44 @@ type PoisonHandler interface {
 // per-block units in retransmission tracking and ACK/NACK envelopes.
 const convClass = -1
 
+// deferred is the pooled typed payload behind every action the endpoint
+// schedules on the hot path — sending a sealed message once its pad is
+// ready, emitting a Batched_MsgMAC after a batch's last block, delivering a
+// retained message after an OTP stall. One union type with a single cached
+// handler replaces a closure allocation per event.
+type deferred struct {
+	// send, when set, is handed to the fabric.
+	send *interconnect.Message
+	// closed, when set, emits a Batched_MsgMAC for (dst, class).
+	closed *core.ClosedBatch
+	dst    interconnect.NodeID
+	class  int
+	// deliver, when set, is a retained message to hand to the node logic
+	// and then release back to the pool.
+	deliver *interconnect.Message
+
+	next *deferred
+}
+
+// batchTimer is the open-batch flush timer of one (class, peer) stream: the
+// cancellable engine timer plus its pooled context. The context is reused
+// the moment the timer is cancelled — a cancelled event's payload is never
+// read again.
+type batchTimer struct {
+	timer sim.Timer
+	ctx   *batchTimeoutCtx
+}
+
+// batchTimeoutCtx is the pooled payload of a batch flush timer.
+type batchTimeoutCtx struct {
+	dst   interconnect.NodeID
+	class int
+	peer  int
+	id    uint64
+
+	next *batchTimeoutCtx
+}
+
 // Endpoint is one processor's secure channel termination.
 type Endpoint struct {
 	engine  *sim.Engine
@@ -202,6 +252,9 @@ type Endpoint struct {
 	// access (n = BatchSize), class 1 is page migration (n = page blocks).
 	batchers  [2][]*core.Batcher
 	macStores [2][]*core.MACStore
+	// batchTimers[class][peer] is the open batch's flush timer, cancelled
+	// when the batch closes full.
+	batchTimers [2][]batchTimer
 
 	// lastSendAt enforces per-peer FIFO injection: a later data block
 	// whose pad happened to be ready sooner still queues behind earlier
@@ -217,12 +270,32 @@ type Endpoint struct {
 	pendingACK int
 	stats      Stats
 
+	// Cached handlers: one conversion each at construction instead of one
+	// allocation per scheduled event.
+	defH  sim.Handler
+	btoH  sim.Handler
+	unitH sim.Handler
+	scanH sim.Handler
+
+	// Free lists recycling the pooled payload types above. The endpoint is
+	// single-goroutine (one engine), so plain intrusive lists beat
+	// sync.Pool here.
+	defFree  *deferred
+	btoFree  *batchTimeoutCtx
+	unitFree *txUnit
+
+	// Scratch blocks for functional crypto: seal() pads short payloads in
+	// sealScratch, deliverData decrypts into plainScratch. Both are dead
+	// once the call returns.
+	sealScratch  [crypto.BlockBytes]byte
+	plainScratch [crypto.BlockBytes]byte
+
 	// Recovery state (nil/false unless opts.Recovery).
 	//
 	// units tracks every unACKed send unit — one batch, or one
-	// conventional block — for retransmission. Timers have no engine-side
-	// cancellation, so each unit carries an epoch: resolving or re-keying
-	// a unit invalidates its outstanding timers.
+	// conventional block — for retransmission. Each unit owns a
+	// cancellable ACK timer; resolving, poisoning, or re-keying the unit
+	// cancels it.
 	units   map[unitKey]*txUnit
 	poisonH PoisonHandler
 	// scanArmed guards the self-quenching receiver-side stale-batch scan.
@@ -246,7 +319,8 @@ type txBlock struct {
 	homed   bool
 }
 
-// txUnit is one unACKed send unit.
+// txUnit is one unACKed send unit. Units are pooled: resolveUnit and
+// poison return them to the endpoint's free list.
 type txUnit struct {
 	dst     interconnect.NodeID
 	peer    int
@@ -254,7 +328,9 @@ type txUnit struct {
 	id      uint64
 	blocks  []txBlock
 	attempt int
-	epoch   uint64
+	timer   sim.Timer
+
+	next *txUnit
 }
 
 func (u *txUnit) key() unitKey { return unitKey{peer: u.peer, class: u.class, id: u.id} }
@@ -285,6 +361,10 @@ func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.Node
 		handler: handler,
 		mgr:     mgr,
 	}
+	e.defH = sim.HandlerFunc(e.onDeferred)
+	e.btoH = sim.HandlerFunc(e.onBatchTimeout)
+	e.unitH = sim.HandlerFunc(e.onUnitTimeout)
+	e.scanH = sim.HandlerFunc(e.scanStale)
 	peers := fabric.NumNodes() - 1
 	e.lastSendAt = make([]sim.Cycle, peers)
 	e.lastCtr = make([]uint64, peers)
@@ -306,6 +386,7 @@ func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.Node
 		for class, n := range [2]int{opts.BatchSize, PageBlocks} {
 			e.batchers[class] = make([]*core.Batcher, peers)
 			e.macStores[class] = make([]*core.MACStore, peers)
+			e.batchTimers[class] = make([]batchTimer, peers)
 			for i := 0; i < peers; i++ {
 				e.batchers[class][i] = core.NewBatcher(n, opts.BatchTimeout, e.gen)
 				e.macStores[class][i] = core.NewMACStore(PageBlocks, e.gen)
@@ -353,19 +434,58 @@ func PeerID(self interconnect.NodeID, index int) interconnect.NodeID {
 	return interconnect.NodeID(index + 1)
 }
 
+// newDeferred takes a deferred from the free list (or allocates the first
+// few until the list warms up).
+func (e *Endpoint) newDeferred() *deferred {
+	d := e.defFree
+	if d == nil {
+		return &deferred{}
+	}
+	e.defFree = d.next
+	d.next = nil
+	return d
+}
+
+// runDeferred executes a deferred action and returns it to the free list.
+func (e *Endpoint) runDeferred(d *deferred) {
+	if d.send != nil {
+		e.fabric.Send(d.send)
+	}
+	if d.closed != nil {
+		e.sendBatchMAC(d.dst, d.class, d.closed)
+	}
+	if m := d.deliver; m != nil {
+		e.handler.HandleData(e.engine.Now(), m)
+		m.Release()
+	}
+	*d = deferred{next: e.defFree}
+	e.defFree = d
+}
+
+// onDeferred is the cached handler behind every at() call.
+func (e *Endpoint) onDeferred(ev sim.Event) { e.runDeferred(ev.Payload.(*deferred)) }
+
+// at runs the deferred action now (when the cycle is current) or schedules
+// it.
+func (e *Endpoint) at(cycle sim.Cycle, d *deferred) {
+	if cycle <= e.engine.Now() {
+		e.runDeferred(d)
+		return
+	}
+	e.engine.Schedule(cycle, e.defH, d)
+}
+
 // SendControl transmits an unprotected control message (read requests,
 // write acks, migration control). Control messages carry no data payload
 // and follow the paper in staying outside the OTP path.
 func (e *Endpoint) SendControl(dst interconnect.NodeID, kind interconnect.Kind, reqID, addr uint64, size int) {
-	e.fabric.Send(&interconnect.Message{
-		Kind:      kind,
-		Category:  categoryOf(kind),
-		Src:       e.node,
-		Dst:       dst,
-		BaseBytes: size,
-		ReqID:     reqID,
-		Addr:      addr,
-	})
+	msg := interconnect.AcquireMessage()
+	msg.Kind = kind
+	msg.Category = categoryOf(kind)
+	msg.Src, msg.Dst = e.node, dst
+	msg.BaseBytes = size
+	msg.ReqID, msg.Addr = reqID, addr
+	e.fabric.Send(msg)
 }
 
 // SendData transmits one protected 64B data block (a read response, write
@@ -378,15 +498,12 @@ func (e *Endpoint) SendControl(dst interconnect.NodeID, kind interconnect.Kind, 
 // bus.
 func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, reqID, addr uint64,
 	payload []byte, homedInCPUMemory bool) {
-	msg := &interconnect.Message{
-		Kind:      kind,
-		Category:  interconnect.CatData,
-		Src:       e.node,
-		Dst:       dst,
-		BaseBytes: DataBytes,
-		ReqID:     reqID,
-		Addr:      addr,
-	}
+	msg := interconnect.AcquireMessage()
+	msg.Kind = kind
+	msg.Category = interconnect.CatData
+	msg.Src, msg.Dst = e.node, dst
+	msg.BaseBytes = DataBytes
+	msg.ReqID, msg.Addr = reqID, addr
 	e.stats.DataSent++
 	if !e.opts.Secure {
 		e.fabric.Send(msg)
@@ -402,9 +519,9 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 	}
 	e.lastSendAt[peer] = sendAt
 
-	env := &interconnect.SecEnvelope{MsgCTR: use.Ctr, SenderID: e.node}
-	msg.Sec = env
-	mac := e.seal(env, dst, payload)
+	env := msg.AttachSec()
+	env.MsgCTR, env.SenderID = use.Ctr, e.node
+	mac := e.seal(msg, env, dst, payload)
 
 	var closed *core.ClosedBatch
 	var class int
@@ -426,6 +543,13 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 		}
 		if c != nil {
 			env.BatchLen = c.Len
+			// The batch closed full: its flush timer (none for a
+			// single-block batch) dies here, and its context is free for
+			// the next open batch.
+			if bt := &e.batchTimers[class][peer]; bt.timer.Cancel() {
+				e.freeBatchTimeoutCtx(bt.ctx)
+				bt.ctx = nil
+			}
 		}
 		if e.opts.Recovery {
 			u := e.trackBlock(unitKey{peer: peer, class: class, id: tag.BatchID}, dst,
@@ -453,26 +577,29 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 		e.stats.PendingACKPeak = e.pendingACK
 	}
 
-	e.at(sendAt, func() {
-		e.fabric.Send(msg)
-		if closed != nil {
-			e.sendBatchMAC(dst, class, closed)
-		}
-	})
+	d := e.newDeferred()
+	d.send = msg
+	if closed != nil {
+		d.closed, d.dst, d.class = closed, dst, class
+	}
+	e.at(sendAt, d)
 }
 
-// seal encrypts payload under the envelope's counter (functional runs) and
-// installs the per-block MAC, which it also returns for batching.
-func (e *Endpoint) seal(env *interconnect.SecEnvelope, dst interconnect.NodeID, payload []byte) [crypto.MACBytes]byte {
+// seal encrypts payload into the message's inline ciphertext block under
+// the envelope's counter (functional runs) and installs the per-block MAC,
+// which it also returns for batching.
+func (e *Endpoint) seal(msg *interconnect.Message, env *interconnect.SecEnvelope,
+	dst interconnect.NodeID, payload []byte) [crypto.MACBytes]byte {
 	var mac [crypto.MACBytes]byte
 	if e.gen != nil {
 		pad := e.gen.Generate(env.MsgCTR, uint16(e.node), uint16(dst))
-		ct := make([]byte, crypto.BlockBytes)
 		src := payload
 		if len(src) != crypto.BlockBytes {
-			src = make([]byte, crypto.BlockBytes)
-			copy(src, payload)
+			e.sealScratch = [crypto.BlockBytes]byte{}
+			copy(e.sealScratch[:], payload)
+			src = e.sealScratch[:]
 		}
+		ct := msg.CipherBuf()
 		crypto.Encrypt(ct, src, &pad)
 		env.Ciphertext = ct
 		mac = e.gen.MAC(ct, &pad)
@@ -481,12 +608,37 @@ func (e *Endpoint) seal(env *interconnect.SecEnvelope, dst interconnect.NodeID, 
 	return mac
 }
 
+// newUnit takes a txUnit from the free list, retaining its blocks slice
+// capacity across reuses.
+func (e *Endpoint) newUnit() *txUnit {
+	u := e.unitFree
+	if u == nil {
+		return &txUnit{}
+	}
+	e.unitFree = u.next
+	u.next = nil
+	return u
+}
+
+// freeUnit clears a retired unit (dropping payload references so freed
+// blocks do not pin memory) and returns it to the free list. The unit's
+// timer must already be cancelled or spent; a cancelled timer event still
+// queued holds only a pointer the engine will discard unread.
+func (e *Endpoint) freeUnit(u *txUnit) {
+	for i := range u.blocks {
+		u.blocks[i] = txBlock{}
+	}
+	*u = txUnit{blocks: u.blocks[:0], next: e.unitFree}
+	e.unitFree = u
+}
+
 // trackBlock appends one block to its retransmission unit, creating the
 // unit on first use.
 func (e *Endpoint) trackBlock(key unitKey, dst interconnect.NodeID, blk txBlock) *txUnit {
 	u, ok := e.units[key]
 	if !ok {
-		u = &txUnit{dst: dst, peer: key.peer, class: key.class, id: key.id}
+		u = e.newUnit()
+		u.dst, u.peer, u.class, u.id = dst, key.peer, key.class, key.id
 		e.units[key] = u
 	}
 	u.blocks = append(u.blocks, blk)
@@ -501,25 +653,57 @@ func batchClass(kind interconnect.Kind) int {
 	return 0
 }
 
+// newBatchTimeoutCtx / freeBatchTimeoutCtx recycle batch-timer payloads.
+func (e *Endpoint) newBatchTimeoutCtx() *batchTimeoutCtx {
+	c := e.btoFree
+	if c == nil {
+		return &batchTimeoutCtx{}
+	}
+	e.btoFree = c.next
+	c.next = nil
+	return c
+}
+
+func (e *Endpoint) freeBatchTimeoutCtx(c *batchTimeoutCtx) {
+	*c = batchTimeoutCtx{next: e.btoFree}
+	e.btoFree = c
+}
+
+// scheduleBatchTimeout arms the open batch's flush timer. The timer is
+// cancelled if the batch closes full first (SendData), so unlike the old
+// epoch-checked events a healthy stream leaves no dead timeouts churning
+// the queue.
 func (e *Endpoint) scheduleBatchTimeout(dst interconnect.NodeID, class, peer int, batchID uint64, openedAt sim.Cycle) {
-	e.engine.Schedule(openedAt+e.opts.BatchTimeout, sim.HandlerFunc(func(sim.Event) {
-		b := e.batchers[class][peer]
-		if id, open := b.OpenID(); open && id == batchID {
-			if cb := b.Flush(); cb != nil {
-				e.stats.TimeoutFlushes++
-				e.sendBatchMAC(dst, class, cb)
-				if e.opts.Recovery {
-					if u, ok := e.units[unitKey{peer: peer, class: class, id: batchID}]; ok {
-						at := e.engine.Now()
-						if e.lastSendAt[peer] > at {
-							at = e.lastSendAt[peer]
-						}
-						e.armUnitTimer(u, at)
+	ctx := e.newBatchTimeoutCtx()
+	ctx.dst, ctx.class, ctx.peer, ctx.id = dst, class, peer, batchID
+	bt := &e.batchTimers[class][peer]
+	bt.ctx = ctx
+	bt.timer = e.engine.ScheduleTimer(openedAt+e.opts.BatchTimeout, e.btoH, ctx)
+}
+
+// onBatchTimeout flushes a batch still open when its timer expires. The
+// OpenID re-check is defensive (cancellation already guarantees it for
+// every close path).
+func (e *Endpoint) onBatchTimeout(ev sim.Event) {
+	ctx := ev.Payload.(*batchTimeoutCtx)
+	dst, class, peer, batchID := ctx.dst, ctx.class, ctx.peer, ctx.id
+	e.freeBatchTimeoutCtx(ctx)
+	b := e.batchers[class][peer]
+	if id, open := b.OpenID(); open && id == batchID {
+		if cb := b.Flush(); cb != nil {
+			e.stats.TimeoutFlushes++
+			e.sendBatchMAC(dst, class, cb)
+			if e.opts.Recovery {
+				if u, ok := e.units[unitKey{peer: peer, class: class, id: batchID}]; ok {
+					at := e.engine.Now()
+					if e.lastSendAt[peer] > at {
+						at = e.lastSendAt[peer]
 					}
+					e.armUnitTimer(u, at)
 				}
 			}
 		}
-	}), nil)
+	}
 }
 
 func (e *Endpoint) sendBatchMAC(dst interconnect.NodeID, class int, cb *core.ClosedBatch) {
@@ -530,20 +714,18 @@ func (e *Endpoint) sendBatchMAC(dst interconnect.NodeID, class int, cb *core.Clo
 	if e.opts.MetadataTraffic {
 		size = BatchMACBytes
 	}
-	e.fabric.Send(&interconnect.Message{
-		Kind:      interconnect.KindBatchMAC,
-		Category:  interconnect.CatBatchMAC,
-		Src:       e.node,
-		Dst:       dst,
-		MetaBytes: size,
-		Sec: &interconnect.SecEnvelope{
-			SenderID:   e.node,
-			BatchClass: class,
-			BatchID:    cb.BatchID,
-			BatchLen:   cb.Len,
-			MAC:        cb.MAC,
-		},
-	})
+	msg := interconnect.AcquireMessage()
+	msg.Kind = interconnect.KindBatchMAC
+	msg.Category = interconnect.CatBatchMAC
+	msg.Src, msg.Dst = e.node, dst
+	msg.MetaBytes = size
+	env := msg.AttachSec()
+	env.SenderID = e.node
+	env.BatchClass = class
+	env.BatchID = cb.BatchID
+	env.BatchLen = cb.Len
+	env.MAC = cb.MAC
+	e.fabric.Send(msg)
 }
 
 // Deliver implements interconnect.Deliverer.
@@ -622,8 +804,9 @@ func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
 	corrupt := msg.Corrupted
 	if e.gen != nil {
 		pad := e.gen.Generate(msg.Sec.MsgCTR, uint16(msg.Src), uint16(e.node))
-		plain := make([]byte, crypto.BlockBytes)
-		crypto.Encrypt(plain, msg.Sec.Ciphertext, &pad)
+		// The plaintext only validates the decrypt path; it is computed
+		// into a scratch block and dropped.
+		crypto.Encrypt(e.plainScratch[:], msg.Sec.Ciphertext, &pad)
 		mac = e.gen.MAC(msg.Sec.Ciphertext, &pad)
 		if !e.opts.Batching && mac != msg.Sec.MAC {
 			corrupt = true
@@ -664,7 +847,13 @@ func (e *Endpoint) deliverData(now sim.Cycle, msg *interconnect.Message) {
 		e.handler.HandleData(now, msg)
 		return
 	}
-	e.at(deliverAt, func() { e.handler.HandleData(e.engine.Now(), msg) })
+	// The message outlives this Deliver call (deliverAt > now whenever
+	// use.Stall > 0): take ownership from the fabric and release after the
+	// node logic consumed it.
+	msg.Retain()
+	d := e.newDeferred()
+	d.deliver = msg
+	e.engine.Schedule(deliverAt, e.defH, d)
 }
 
 func (e *Endpoint) finishBatch(src interconnect.NodeID, class int, res *core.VerifyResult) {
@@ -704,33 +893,35 @@ func (e *Endpoint) sendFeedback(dst interconnect.NodeID, kind interconnect.Kind,
 	if e.opts.MetadataTraffic {
 		size = ACKBytes
 	}
-	msg := &interconnect.Message{
-		Kind:      kind,
-		Category:  interconnect.CatSecACK,
-		Src:       e.node,
-		Dst:       dst,
-		MetaBytes: size,
-	}
+	msg := interconnect.AcquireMessage()
+	msg.Kind = kind
+	msg.Category = interconnect.CatSecACK
+	msg.Src, msg.Dst = e.node, dst
+	msg.MetaBytes = size
 	if e.opts.Recovery {
-		msg.Sec = &interconnect.SecEnvelope{SenderID: e.node, BatchClass: class, BatchID: id}
+		env := msg.AttachSec()
+		env.SenderID = e.node
+		env.BatchClass = class
+		env.BatchID = id
 	}
 	e.fabric.Send(msg)
 }
 
 // resolveUnit retires a unit on ACK: its blocks are confirmed received and
-// verified, so the pending-ACK debt is repaid and outstanding timers die.
+// verified, so the pending-ACK debt is repaid and the ACK timer dies.
 func (e *Endpoint) resolveUnit(key unitKey) {
 	u, ok := e.units[key]
 	if !ok {
 		e.stats.StaleACKs++
 		return
 	}
-	u.epoch++
+	u.timer.Cancel()
 	delete(e.units, key)
 	e.pendingACK -= len(u.blocks)
 	if e.pendingACK < 0 {
 		e.pendingACK = 0
 	}
+	e.freeUnit(u)
 }
 
 // onNACK retransmits the named unit immediately (or poisons it when the
@@ -749,10 +940,8 @@ func (e *Endpoint) onNACK(key unitKey) {
 	e.retransmit(u)
 }
 
-// armUnitTimer schedules the unit's ACK timeout with exponential backoff.
-// The engine has no event cancellation, so the timer re-validates the unit
-// by (key, epoch) when it fires: a resolved or re-keyed unit makes it a
-// no-op.
+// armUnitTimer schedules the unit's ACK timeout with exponential backoff,
+// cancelling any previous shot so each unit owns at most one live timer.
 func (e *Endpoint) armUnitTimer(u *txUnit, sentAt sim.Cycle) {
 	if !e.opts.Recovery {
 		return
@@ -761,19 +950,21 @@ func (e *Endpoint) armUnitTimer(u *txUnit, sentAt sim.Cycle) {
 	if shift > 6 {
 		shift = 6
 	}
-	key, epoch := u.key(), u.epoch
-	e.engine.Schedule(sentAt+(e.opts.RetransTimeout<<shift), sim.HandlerFunc(func(sim.Event) {
-		uu, ok := e.units[key]
-		if !ok || uu.epoch != epoch {
-			return
-		}
-		e.stats.AckTimeouts++
-		if uu.attempt >= e.opts.RetransMaxRetries {
-			e.poison(uu)
-			return
-		}
-		e.retransmit(uu)
-	}), nil)
+	u.timer.Cancel()
+	u.timer = e.engine.ScheduleTimer(sentAt+(e.opts.RetransTimeout<<shift), e.unitH, u)
+}
+
+// onUnitTimeout fires when a unit's ACK never arrived. The timer is
+// cancelled whenever its unit is resolved, poisoned, or re-keyed, so a
+// firing timer always names a live unit — no revalidation needed.
+func (e *Endpoint) onUnitTimeout(ev sim.Event) {
+	u := ev.Payload.(*txUnit)
+	e.stats.AckTimeouts++
+	if u.attempt >= e.opts.RetransMaxRetries {
+		e.poison(u)
+		return
+	}
+	e.retransmit(u)
 }
 
 // retransmit re-sends every block of the unit. Pads are one-time and the
@@ -783,7 +974,7 @@ func (e *Endpoint) armUnitTimer(u *txUnit, sentAt sim.Cycle) {
 // with the receiver's state for the lost original.
 func (e *Endpoint) retransmit(u *txUnit) {
 	u.attempt++
-	u.epoch++
+	u.timer.Cancel()
 	e.stats.Retransmits += uint64(len(u.blocks))
 	delete(e.units, u.key())
 	peer := u.peer
@@ -800,12 +991,15 @@ func (e *Endpoint) retransmit(u *txUnit) {
 		u.id = use.Ctr
 		e.units[u.key()] = u
 		msg := e.dataMessage(u.dst, blk)
-		msg.Sec = &interconnect.SecEnvelope{MsgCTR: use.Ctr, SenderID: e.node}
-		e.seal(msg.Sec, u.dst, blk.payload)
+		env := msg.AttachSec()
+		env.MsgCTR, env.SenderID = use.Ctr, e.node
+		e.seal(msg, env, u.dst, blk.payload)
 		if e.opts.MetadataTraffic {
 			msg.MetaBytes = InlineMetaConv
 		}
-		e.at(sendAt, func() { e.fabric.Send(msg) })
+		d := e.newDeferred()
+		d.send = msg
+		e.at(sendAt, d)
 		e.armUnitTimer(u, sendAt)
 		return
 	}
@@ -825,11 +1019,10 @@ func (e *Endpoint) retransmit(u *txUnit) {
 		e.lastSendAt[peer] = sendAt
 		lastSend = sendAt
 		msg := e.dataMessage(u.dst, blk)
-		msg.Sec = &interconnect.SecEnvelope{
-			MsgCTR: use.Ctr, SenderID: e.node,
-			BatchClass: u.class, BatchID: u.id, BatchIndex: i,
-		}
-		mac := e.seal(msg.Sec, u.dst, blk.payload)
+		env := msg.AttachSec()
+		env.MsgCTR, env.SenderID = use.Ctr, e.node
+		env.BatchClass, env.BatchID, env.BatchIndex = u.class, u.id, i
+		mac := e.seal(msg, env, u.dst, blk.payload)
 		macs = append(macs, mac[:]...)
 		if e.opts.MetadataTraffic {
 			msg.MetaBytes = InlineMetaBatch
@@ -838,26 +1031,27 @@ func (e *Endpoint) retransmit(u *txUnit) {
 			}
 		}
 		if i == n-1 {
-			msg.Sec.BatchLen = n
+			env.BatchLen = n
 		}
-		e.at(sendAt, func() { e.fabric.Send(msg) })
+		d := e.newDeferred()
+		d.send = msg
+		e.at(sendAt, d)
 	}
 	cb := &core.ClosedBatch{BatchID: u.id, Len: n, MAC: core.BatchMAC(e.gen, macs)}
-	e.at(lastSend, func() { e.sendBatchMAC(u.dst, u.class, cb) })
+	d := e.newDeferred()
+	d.closed, d.dst, d.class = cb, u.dst, u.class
+	e.at(lastSend, d)
 	e.armUnitTimer(u, lastSend)
 }
 
 // dataMessage rebuilds the wire message for one retransmitted block.
 func (e *Endpoint) dataMessage(dst interconnect.NodeID, blk txBlock) *interconnect.Message {
-	msg := &interconnect.Message{
-		Kind:      blk.kind,
-		Category:  interconnect.CatData,
-		Src:       e.node,
-		Dst:       dst,
-		BaseBytes: DataBytes,
-		ReqID:     blk.reqID,
-		Addr:      blk.addr,
-	}
+	msg := interconnect.AcquireMessage()
+	msg.Kind = blk.kind
+	msg.Category = interconnect.CatData
+	msg.Src, msg.Dst = e.node, dst
+	msg.BaseBytes = DataBytes
+	msg.ReqID, msg.Addr = blk.reqID, blk.addr
 	if blk.homed && e.opts.CPUMemProtection && e.opts.MetadataTraffic {
 		msg.MemProtBytes = MemProtBytes
 	}
@@ -868,7 +1062,7 @@ func (e *Endpoint) dataMessage(dst interconnect.NodeID, blk txBlock) *interconne
 // the blocks are surfaced in Stats, and the node logic is told so affected
 // operations fail instead of hanging the simulation.
 func (e *Endpoint) poison(u *txUnit) {
-	u.epoch++
+	u.timer.Cancel()
 	delete(e.units, u.key())
 	e.pendingACK -= len(u.blocks)
 	if e.pendingACK < 0 {
@@ -882,6 +1076,7 @@ func (e *Endpoint) poison(u *txUnit) {
 			e.poisonH.HandlePoisoned(now, u.dst, blk.kind, blk.reqID)
 		}
 	}
+	e.freeUnit(u)
 }
 
 // armStaleScan schedules the receiver-side stale-batch sweep. The scan is
@@ -892,7 +1087,7 @@ func (e *Endpoint) armStaleScan() {
 		return
 	}
 	e.scanArmed = true
-	e.engine.Schedule(e.engine.Now()+e.opts.StaleBatchTimeout, sim.HandlerFunc(e.scanStale), nil)
+	e.engine.Schedule(e.engine.Now()+e.opts.StaleBatchTimeout, e.scanH, nil)
 }
 
 // scanStale NACKs and abandons every incomplete batch older than the stale
@@ -920,7 +1115,7 @@ func (e *Endpoint) scanStale(sim.Event) {
 	}
 	if rearm {
 		e.scanArmed = true
-		e.engine.Schedule(now+e.opts.StaleBatchTimeout, sim.HandlerFunc(e.scanStale), nil)
+		e.engine.Schedule(now+e.opts.StaleBatchTimeout, e.scanH, nil)
 	}
 }
 
@@ -942,15 +1137,6 @@ func (e *Endpoint) FillingBatches() int {
 		}
 	}
 	return total
-}
-
-// at runs fn now (when the cycle is current) or schedules it.
-func (e *Endpoint) at(cycle sim.Cycle, fn func()) {
-	if cycle <= e.engine.Now() {
-		fn()
-		return
-	}
-	e.engine.Schedule(cycle, sim.HandlerFunc(func(sim.Event) { fn() }), nil)
 }
 
 func categoryOf(kind interconnect.Kind) interconnect.Category {

@@ -17,7 +17,9 @@ type capture struct {
 }
 
 func (c *capture) HandleData(now sim.Cycle, msg *interconnect.Message) {
-	c.data = append(c.data, msg)
+	// Delivered messages are pooled and recycled once the handler returns;
+	// keep deep copies for post-run inspection.
+	c.data = append(c.data, msg.Clone())
 	c.when = append(c.when, now)
 	if c.onData != nil {
 		c.onData(msg)
@@ -25,7 +27,7 @@ func (c *capture) HandleData(now sim.Cycle, msg *interconnect.Message) {
 }
 
 func (c *capture) HandleControl(now sim.Cycle, msg *interconnect.Message) {
-	c.ctrl = append(c.ctrl, msg)
+	c.ctrl = append(c.ctrl, msg.Clone())
 }
 
 type pair struct {

@@ -7,7 +7,10 @@ type Ticker struct {
 	engine *Engine
 	period Cycle
 	fn     func(now Cycle)
-	active bool
+	// handler is the one Handler value reused for every tick; converting a
+	// method value per re-arm would allocate on each period.
+	handler Handler
+	timer   Timer
 }
 
 // NewTicker creates a ticker that calls fn every period cycles once started.
@@ -16,27 +19,25 @@ func NewTicker(engine *Engine, period Cycle, fn func(now Cycle)) *Ticker {
 	if period == 0 {
 		panic("sim: ticker period must be positive")
 	}
-	return &Ticker{engine: engine, period: period, fn: fn}
+	t := &Ticker{engine: engine, period: period, fn: fn}
+	t.handler = HandlerFunc(t.tick)
+	return t
 }
 
 // Start schedules the first tick one period from now. Starting an active
 // ticker is a no-op.
 func (t *Ticker) Start() {
-	if t.active {
+	if t.timer.Active() {
 		return
 	}
-	t.active = true
-	t.engine.ScheduleAfter(t.period, HandlerFunc(t.tick), nil)
+	t.timer = t.engine.ScheduleTimerAfter(t.period, t.handler, nil)
 }
 
-// Stop cancels future ticks. The currently queued tick still fires but is
-// ignored.
-func (t *Ticker) Stop() { t.active = false }
+// Stop cancels the queued tick, removing the ticker's presence from the
+// event queue entirely.
+func (t *Ticker) Stop() { t.timer.Cancel() }
 
-func (t *Ticker) tick(ev Event) {
-	if !t.active {
-		return
-	}
+func (t *Ticker) tick(Event) {
 	t.fn(t.engine.Now())
-	t.engine.ScheduleAfter(t.period, HandlerFunc(t.tick), nil)
+	t.timer = t.engine.ScheduleTimerAfter(t.period, t.handler, nil)
 }

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+func TestTimerCancelBeforeFire(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.ScheduleTimer(10, HandlerFunc(func(Event) { fired = true }), nil)
+	if !tm.Active() {
+		t.Fatal("timer not active after scheduling")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false for a pending timer")
+	}
+	if tm.Active() {
+		t.Fatal("timer still active after Cancel")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after cancelling the only event, want 0", e.Pending())
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if end != 0 {
+		t.Fatalf("end=%d, want 0 (cancelled event must not advance time)", end)
+	}
+}
+
+func TestTimerCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.ScheduleTimer(10, HandlerFunc(func(Event) { fired++ }), nil)
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1", fired)
+	}
+	if tm.Active() {
+		t.Fatal("timer reports active after firing")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestTimerDoubleCancelIsNoop(t *testing.T) {
+	e := NewEngine()
+	tm := e.ScheduleTimer(10, HandlerFunc(func(Event) {}), nil)
+	if !tm.Cancel() {
+		t.Fatal("first Cancel failed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d, want 0", e.Pending())
+	}
+}
+
+func TestTimerZeroValueIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() {
+		t.Fatal("zero timer reports active")
+	}
+	if tm.Cancel() {
+		t.Fatal("zero timer Cancel returned true")
+	}
+}
+
+func TestTimerRearm(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	h := HandlerFunc(func(ev Event) { fired = append(fired, ev.At) })
+	tm := e.ScheduleTimer(10, h, nil)
+	// Re-arm: cancel the pending shot and schedule a replacement. The slot
+	// is recycled through the slab, so the handle generations must keep the
+	// two shots distinct.
+	if !tm.Cancel() {
+		t.Fatal("Cancel failed")
+	}
+	tm = e.ScheduleTimer(25, h, nil)
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 25 {
+		t.Fatalf("fired=%v, want [25]", fired)
+	}
+	if tm.Active() {
+		t.Fatal("re-armed timer still active after firing")
+	}
+}
+
+// TestTimerSlotReuseDoesNotResurrect pins the slab invariant: a slot
+// recycled to a new timer must not make a stale handle cancel the new
+// owner's event.
+func TestTimerSlotReuseDoesNotResurrect(t *testing.T) {
+	e := NewEngine()
+	firstFired, secondFired := false, false
+	first := e.ScheduleTimer(10, HandlerFunc(func(Event) { firstFired = true }), nil)
+	first.Cancel()
+	// Drain the cancelled event so the slot returns to the free list.
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	second := e.ScheduleTimer(20, HandlerFunc(func(Event) { secondFired = true }), nil)
+	if first.Cancel() {
+		t.Fatal("stale handle cancelled the slot's new owner")
+	}
+	if first.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firstFired || !secondFired {
+		t.Fatalf("firstFired=%v secondFired=%v, want false,true", firstFired, secondFired)
+	}
+	if !second.Active() == false {
+		t.Fatal("second timer should be spent after firing")
+	}
+}
+
+func TestTimerCancelInsideHandler(t *testing.T) {
+	e := NewEngine()
+	var later Timer
+	laterFired := false
+	e.Schedule(5, HandlerFunc(func(Event) { later.Cancel() }), nil)
+	later = e.ScheduleTimer(10, HandlerFunc(func(Event) { laterFired = true }), nil)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if laterFired {
+		t.Fatal("timer cancelled at cycle 5 still fired at 10")
+	}
+	if end != 5 {
+		t.Fatalf("end=%d, want 5", end)
+	}
+}
+
+// TestRunUntilStopDoesNotAdvanceToLimit is the regression test for the
+// Stop-then-RunUntil bug: a Stop raised by a handler used to be forgotten
+// by the next RunUntil call, whose early-return path still advanced e.now
+// to the limit.
+func TestRunUntilStopDoesNotAdvanceToLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	e.Schedule(10, HandlerFunc(func(ev Event) {
+		fired = append(fired, ev.At)
+		e.Stop()
+	}), nil)
+	e.Schedule(500, HandlerFunc(func(ev Event) { fired = append(fired, ev.At) }), nil)
+
+	end, err := e.RunUntil(100)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if end != 10 {
+		t.Fatalf("stopped RunUntil returned %d, want 10", end)
+	}
+	// The next call consumes the pending stop without touching the clock.
+	end, err = e.RunUntil(1000)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if end != 10 || e.Now() != 10 {
+		t.Fatalf("post-stop RunUntil advanced to %d (now=%d), want 10", end, e.Now())
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired=%v, want just the event at 10", fired)
+	}
+	// With the stop consumed, simulation resumes normally.
+	end, err = e.RunUntil(1000)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if end != 1000 || len(fired) != 2 || fired[1] != 500 {
+		t.Fatalf("resume: end=%d fired=%v, want 1000 and event at 500", end, fired)
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50, HandlerFunc(func(Event) {}), nil)
+	if _, err := e.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// A later call with an earlier limit must not move time backwards.
+	end, err := e.RunUntil(80)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if end != 100 || e.Now() != 100 {
+		t.Fatalf("clock rewound: end=%d now=%d, want 100", end, e.Now())
+	}
+}
+
+// refEvent/refHeap reimplement the pre-rewrite container/heap queue so the
+// property test below can prove the specialized queue pops in the identical
+// (cycle, seq) order under random workloads.
+type refEvent struct {
+	at  Cycle
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)       { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any         { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (h *refHeap) push(ev refEvent) { heap.Push(h, ev) }
+func (h *refHeap) popMin() refEvent { return heap.Pop(h).(refEvent) }
+
+func TestQueueMatchesContainerHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		ref := &refHeap{}
+		var popped []int
+
+		// Random workload: interleaved schedules (with heavy cycle ties),
+		// fires, and mid-run schedules from inside handlers.
+		n := 1 + rng.Intn(200)
+		var seq uint64
+		for i := 0; i < n; i++ {
+			at := Cycle(rng.Intn(50))
+			id := i
+			seq++
+			ref.push(refEvent{at: at, seq: seq, id: id})
+			e.Schedule(at, HandlerFunc(func(Event) { popped = append(popped, id) }), nil)
+			if rng.Intn(4) == 0 {
+				// Same-cycle duplicate to stress tie-breaking.
+				dup := i + 10000
+				seq++
+				ref.push(refEvent{at: at, seq: seq, id: dup})
+				e.Schedule(at, HandlerFunc(func(Event) { popped = append(popped, dup) }), nil)
+			}
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+
+		want := make([]int, 0, ref.Len())
+		for ref.Len() > 0 {
+			want = append(want, ref.popMin().id)
+		}
+		if len(popped) != len(want) {
+			t.Fatalf("trial %d: popped %d events, reference %d", trial, len(popped), len(want))
+		}
+		for i := range want {
+			if popped[i] != want[i] {
+				t.Fatalf("trial %d: divergence at pop %d: got id %d, reference id %d",
+					trial, i, popped[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQueueOrderWithCancellations extends the property to timers: random
+// cancellations must not perturb the relative order of surviving events.
+func TestQueueOrderWithCancellations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		ref := &refHeap{}
+		var popped, want []int
+
+		n := 1 + rng.Intn(150)
+		timers := make([]Timer, 0, n)
+		cancelled := make(map[int]bool)
+		var seq uint64
+		for i := 0; i < n; i++ {
+			at := Cycle(rng.Intn(40))
+			id := i
+			seq++
+			ref.push(refEvent{at: at, seq: seq, id: id})
+			timers = append(timers, e.ScheduleTimer(at, HandlerFunc(func(Event) {
+				popped = append(popped, id)
+			}), nil))
+		}
+		for i := range timers {
+			if rng.Intn(3) == 0 {
+				if timers[i].Cancel() {
+					cancelled[i] = true
+				}
+			}
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		for ref.Len() > 0 {
+			ev := ref.popMin()
+			if !cancelled[ev.id] {
+				want = append(want, ev.id)
+			}
+		}
+		if len(popped) != len(want) {
+			t.Fatalf("trial %d: popped %d events, reference %d survivors", trial, len(popped), len(want))
+		}
+		for i := range want {
+			if popped[i] != want[i] {
+				t.Fatalf("trial %d: divergence at pop %d: got id %d, reference id %d",
+					trial, i, popped[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScheduleZeroAlloc pins the tentpole: steady-state scheduling and
+// running must not allocate. Pointer payloads ride the interface without
+// boxing, and the specialized heap moves events by value.
+func TestScheduleZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := HandlerFunc(func(Event) {})
+	payload := &struct{ x int }{}
+	// Warm up so the queue's backing array reaches steady-state capacity.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(e.Now()+1, h, payload)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(e.Now()+Cycle(i%7)+1, h, payload)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule/Run allocates %.1f times per run, want 0", avg)
+	}
+}
