@@ -153,6 +153,12 @@ type Config struct {
 	// zero value is a perfect fabric.
 	Faults FaultProfile
 
+	// Outages injects seeded whole-link down/up windows and transient node
+	// resets that blackhole protected traffic for sustained periods —
+	// distinct from Faults, which hits individual messages. The zero value
+	// is an always-up fabric.
+	Outages OutageProfile
+
 	// Recovery enables the secure channel's NACK/retransmission protocol:
 	// per-batch ACK timers with bounded retries, receiver-side stale-batch
 	// NACKs, and batch poisoning after max retries. It is required for a
@@ -168,6 +174,25 @@ type Config struct {
 	// StaleBatchTimeout is how long the receiver holds an incomplete batch
 	// before NACKing and abandoning it.
 	StaleBatchTimeout uint64
+
+	// ResyncThreshold is the per-peer failure streak (NACKs received plus
+	// ACK timeouts without an intervening clean ACK) after which the sender
+	// suspects counter desync and initiates a RESYNC handshake. Zero
+	// disables resync.
+	ResyncThreshold int
+	// RekeyEpoch is the per-pair counter span of one key epoch: when a
+	// send counter crosses the next multiple of it, the sender drains
+	// in-flight units and rotates to a fresh epoch via a rekeying RESYNC.
+	// The default (1<<40) never triggers at simulation scale, so healthy
+	// runs are unaffected. Zero disables rekeying.
+	RekeyEpoch uint64
+	// WatchdogInterval arms the simulation watchdog: if the engine advances
+	// this many cycles with no protected payload completing anywhere, the
+	// run is failed loudly with a structured diagnosis instead of spinning.
+	// The watchdog is only scheduled when Faults or Outages are active, so
+	// fault-free event orderings (and golden digests) are untouched. Zero
+	// disables it.
+	WatchdogInterval uint64
 
 	// Seed drives all workload randomness; runs are fully deterministic.
 	Seed int64
@@ -213,6 +238,54 @@ func (f FaultProfile) Validate() error {
 	return nil
 }
 
+// OutageProfile models sustained fabric outages: whole links going dark
+// for a window of cycles and nodes transiently resetting (blackholing all
+// their protected traffic). Windows are drawn from per-link / per-node
+// exponential distributions seeded by (Seed, endpoints), so runs are fully
+// deterministic. Like FaultProfile, only messages carrying a security
+// envelope are affected: the baseline control plane stays lossless so the
+// simulation itself can always drain. The struct is a flat value so Config
+// stays comparable (the sweep cache keys on it).
+type OutageProfile struct {
+	// LinkMTBF is the mean number of cycles between outages on each
+	// undirected link (exponentially distributed). Zero disables link
+	// outages.
+	LinkMTBF uint64
+	// LinkOutage is the mean outage duration in cycles.
+	LinkOutage uint64
+	// NodeMTBF is the mean number of cycles between transient resets of
+	// each node (exponentially distributed). Zero disables node outages.
+	NodeMTBF uint64
+	// NodeOutage is the mean reset duration in cycles.
+	NodeOutage uint64
+	// Seed drives the per-link and per-node outage generators.
+	Seed int64
+}
+
+// Active reports whether the profile injects any outages.
+func (o OutageProfile) Active() bool {
+	return (o.LinkMTBF > 0 && o.LinkOutage > 0) || (o.NodeMTBF > 0 && o.NodeOutage > 0)
+}
+
+// Validate reports the first outage-profile error found.
+func (o OutageProfile) Validate() error {
+	switch {
+	case o.LinkMTBF > 0 && o.LinkOutage == 0:
+		return fmt.Errorf("config: outage LinkMTBF set but LinkOutage is zero")
+	case o.LinkOutage > 0 && o.LinkMTBF == 0:
+		return fmt.Errorf("config: outage LinkOutage set but LinkMTBF is zero")
+	case o.NodeMTBF > 0 && o.NodeOutage == 0:
+		return fmt.Errorf("config: outage NodeMTBF set but NodeOutage is zero")
+	case o.NodeOutage > 0 && o.NodeMTBF == 0:
+		return fmt.Errorf("config: outage NodeOutage set but NodeMTBF is zero")
+	case o.LinkMTBF > 0 && o.LinkOutage >= o.LinkMTBF:
+		return fmt.Errorf("config: outage LinkOutage %d >= LinkMTBF %d; the link would be down more than up", o.LinkOutage, o.LinkMTBF)
+	case o.NodeMTBF > 0 && o.NodeOutage >= o.NodeMTBF:
+		return fmt.Errorf("config: outage NodeOutage %d >= NodeMTBF %d; the node would be down more than up", o.NodeOutage, o.NodeMTBF)
+	}
+	return nil
+}
+
 // Default returns the Table III configuration for the given GPU count with
 // the unsecure baseline selected.
 func Default(numGPUs int) Config {
@@ -245,6 +318,9 @@ func Default(numGPUs int) Config {
 		RetransTimeout:      50_000,
 		RetransMaxRetries:   6,
 		StaleBatchTimeout:   25_000,
+		ResyncThreshold:     3,
+		RekeyEpoch:          1 << 40,
+		WatchdogInterval:    2_000_000,
 		Seed:                1,
 		Scale:               1.0,
 	}
@@ -279,8 +355,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: Recovery needs positive RetransTimeout, RetransMaxRetries, and StaleBatchTimeout")
 	case c.Faults.Active() && c.Secure && !c.Recovery:
 		return fmt.Errorf("config: a secure system on a lossy fabric needs Recovery (dropped blocks would deadlock the run)")
+	case c.Outages.Active() && c.Secure && !c.Recovery:
+		return fmt.Errorf("config: a secure system on an outage-prone fabric needs Recovery (blackholed blocks would deadlock the run)")
+	case c.Outages.Active() && c.Secure && c.ResyncThreshold < 1:
+		return fmt.Errorf("config: a secure system on an outage-prone fabric needs a positive ResyncThreshold to recover counter sync")
+	case c.ResyncThreshold < 0:
+		return fmt.Errorf("config: ResyncThreshold %d < 0", c.ResyncThreshold)
 	}
-	return c.Faults.Validate()
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	return c.Outages.Validate()
 }
 
 // NumProcessors is the total processor count: the GPUs plus the host CPU.

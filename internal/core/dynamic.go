@@ -99,6 +99,18 @@ func (d *Dynamic) UseRecv(now sim.Cycle, peer int, ctr uint64) otp.Use {
 	return d.table.UseRecv(now, peer, ctr)
 }
 
+// ResyncSend jumps peer's send stream forward to ctr, invalidating its
+// buffered pads. The monitoring counters and EWMA state are untouched: a
+// resync changes which pads are valid, not who is communicating.
+func (d *Dynamic) ResyncSend(now sim.Cycle, peer int, ctr uint64) {
+	d.table.ResyncSend(now, peer, ctr)
+}
+
+// ResyncRecv aligns peer's receive stream to expect ctr next.
+func (d *Dynamic) ResyncRecv(now sim.Cycle, peer int, ctr uint64) {
+	d.table.ResyncRecv(now, peer, ctr)
+}
+
 // Stats returns the accumulated outcome counts.
 func (d *Dynamic) Stats() *otp.Stats { return d.table.Stats() }
 

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/otp"
+	"secmgpu/internal/sim"
+)
+
+// A resync delegated through Dynamic jumps the counter and invalidates
+// pads exactly like the underlying table.
+func TestDynamicResyncDelegates(t *testing.T) {
+	d := NewDynamic(4, 32, 0.9, 0.5, crypto.NewEngine(40))
+	for i := 0; i < 3; i++ {
+		d.UseSend(sim.Cycle(1000+i), 1)
+	}
+	d.ResyncSend(10_000, 1, 64)
+	if u := d.UseSend(10_001, 1); u.Ctr != 64 {
+		t.Errorf("counter after resync = %d, want 64", u.Ctr)
+	} else if u.Stall == 0 {
+		t.Error("stale pad survived the resync")
+	}
+	d.ResyncRecv(10_000, 2, 32)
+	if u := d.UseRecv(10_100, 2, 32); u.Stall != 0 {
+		t.Errorf("pre-aligned receive stalled %d", u.Stall)
+	}
+}
+
+// A resync landing mid-interval composes with the repartitioner: the
+// following AdjustInterval still conserves the budget, the resynced
+// stream keeps its new counter across the depth change, and monitoring
+// state is unaffected (the resynced peer's traffic still earns it
+// entries).
+func TestDynamicMidIntervalResync(t *testing.T) {
+	const budget = 32
+	d := NewDynamic(4, budget, 0.9, 0.5, crypto.NewEngine(40))
+
+	now := sim.Cycle(0)
+	for interval := 0; interval < 8; interval++ {
+		for i := 0; i < 24; i++ {
+			now += 30
+			d.UseSend(now, 1) // peer 1 is hot
+			if i%4 == 0 {
+				d.UseRecv(now, 2, d.table.Stats().Counts[otp.Recv][otp.Hit]) // background
+			}
+		}
+		if interval == 3 {
+			// Mid-interval counter resync on the hot stream.
+			d.ResyncSend(now, 1, 10_000)
+		}
+		now += 30
+		d.AdjustInterval(now)
+		if got := d.TotalDepth(); got != budget {
+			t.Fatalf("interval %d: total depth %d, want %d (budget leaked across resync)", interval, got, budget)
+		}
+	}
+
+	// The resynced stream's counter continued from the agreed base.
+	if u := d.UseSend(now+1000, 1); u.Ctr < 10_000 {
+		t.Errorf("counter %d fell behind the resync base 10000", u.Ctr)
+	}
+	// The hot stream kept earning entries after the resync: monitoring
+	// state must survive invalidation.
+	if hot, cold := d.Depth(otp.Send, 1), d.Depth(otp.Send, 3); hot <= cold {
+		t.Errorf("hot stream depth %d <= idle stream depth %d after resync", hot, cold)
+	}
+}
+
+// Shrinking a resynced stream and then using it never reuses a stale pad:
+// setDepth's slot reshuffle must not resurrect pre-resync readiness.
+func TestDynamicResyncThenRepartitionInvalidationHolds(t *testing.T) {
+	d := NewDynamic(2, 16, 0.9, 0.5, crypto.NewEngine(40))
+	// Warm the stream so all pads are ready.
+	for i := 0; i < 4; i++ {
+		d.UseSend(sim.Cycle(10_000+i), 0)
+	}
+	d.ResyncSend(20_000, 0, 500)
+	// Repartition immediately after the resync, before regeneration
+	// completes.
+	d.table.SetDepth(otp.Send, 0, 2, 20_010)
+	u := d.UseSend(20_020, 0)
+	if u.Ctr != 500 {
+		t.Errorf("counter = %d, want 500", u.Ctr)
+	}
+	if u.Stall == 0 {
+		t.Error("use hit right after resync+repartition; a stale pad leaked through the reshuffle")
+	}
+}

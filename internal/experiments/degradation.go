@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/sweep"
+)
+
+// outageLevel is one row of the degradation experiment: a named fabric
+// outage intensity expressed as the seeded link/node down-window profile.
+type outageLevel struct {
+	label   string
+	profile config.OutageProfile
+}
+
+// degradationLevels are the outage intensities swept by the degradation
+// experiment, from a healthy fabric to one where links routinely go dark
+// and nodes occasionally reset. Windows are sized to CI-scale runs: short
+// enough that several outages land inside every simulation, long enough to
+// force the counter-resync handshake (not just ordinary retransmission).
+var degradationLevels = []outageLevel{
+	{label: "none", profile: config.OutageProfile{}},
+	{label: "light", profile: config.OutageProfile{LinkMTBF: 25_000, LinkOutage: 4_000}},
+	{label: "heavy", profile: config.OutageProfile{
+		LinkMTBF: 30_000, LinkOutage: 6_000,
+		NodeMTBF: 100_000, NodeOutage: 6_000,
+	}},
+}
+
+// degradationRekeyEpoch shrinks the key-epoch span so CI-scale runs also
+// exercise the drain-then-rotate rekey path alongside outage recovery.
+const degradationRekeyEpoch = 128
+
+// Degradation measures how the secure schemes weather sustained fabric
+// outages — whole links going dark and nodes resetting — rather than the
+// per-message loss of the resilience experiment. Rows are outage
+// intensities; the per-scheme columns report execution time normalized to
+// the unsecure system on a healthy fabric (outages blackhole only protected
+// messages, so the unsecure baseline is immune), followed by recovery
+// counters for the full proposed scheme: goodput, completed counter-resync
+// handshakes, epoch rekeys, retransmitted blocks, and poisoned blocks. A
+// zero poisoned column is the experiment's headline claim: outages long
+// enough to desynchronize counters are healed by resync, never by dropping
+// data. Every simulation is seeded, so two runs produce identical tables.
+func Degradation(ctx context.Context, p Params) (*Table, error) {
+	schemes := []Scheme{Unsecure, Private4x, Cached4x, Ours4x}
+	specs, err := p.workloads()
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []sweep.Cell
+	for _, lvl := range degradationLevels {
+		for _, sch := range schemes {
+			for _, spec := range specs {
+				cfg := p.baseConfig()
+				sch.Mutate(&cfg)
+				if cfg.Secure {
+					cfg.Outages = lvl.profile
+					cfg.Outages.Seed = p.Seed
+					// Recovery timers shrunk so the failure streak crosses
+					// the resync threshold within one outage window at CI
+					// scale, and a small epoch so rekeying fires too.
+					cfg.RetransTimeout = 5_000
+					cfg.StaleBatchTimeout = 2_500
+					cfg.RekeyEpoch = degradationRekeyEpoch
+				}
+				cells = append(cells, sweep.Cell{
+					Spec: spec, Cfg: cfg, Opt: machine.RunOptions{},
+					Label: fmt.Sprintf("%s under %s at outage level %s", spec.Abbr, sch.Name, lvl.label),
+				})
+			}
+		}
+	}
+	results, err := p.engine().Run(ctx, cells, p.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	at := func(li, si, wi int) *machine.Result {
+		return results[(li*len(schemes)+si)*len(specs)+wi]
+	}
+
+	t := &Table{
+		ID:       "Degradation",
+		Title:    "Secure-scheme degradation and recovery under fabric outages (OTP 4x)",
+		RowLabel: "outage",
+		Note: "slowdown columns are normalized to the unsecure system, which sends no " +
+			"protected messages and is therefore immune to outages; recovery columns " +
+			"are summed across workloads for the full proposed scheme; a tripped " +
+			"watchdog fails the whole experiment",
+	}
+	for _, sch := range schemes {
+		t.Columns = append(t.Columns, sch.Name)
+	}
+	t.Columns = append(t.Columns, "Ours goodput", "Ours resyncs", "Ours rekeys", "Ours retrans", "Ours poisoned")
+
+	oursIdx := len(schemes) - 1
+	for li, lvl := range degradationLevels {
+		row := Row{Label: lvl.label}
+		for si := range schemes {
+			var sum float64
+			for wi := range specs {
+				base := at(0, 0, wi).Cycles // unsecure, healthy fabric
+				sum += float64(at(li, si, wi).Cycles) / float64(base)
+			}
+			row.Values = append(row.Values, sum/float64(len(specs)))
+		}
+		var sent, logical, resyncs, rekeys, retrans, poisoned float64
+		for wi := range specs {
+			sec := at(li, oursIdx, wi).Sec
+			logical += float64(sec.DataSent)
+			sent += float64(sec.DataSent + sec.Retransmits)
+			// ResyncsCompleted counts plain and rekey handshakes alike;
+			// the table separates outage-driven resyncs from epoch rekeys.
+			resyncs += float64(sec.ResyncsCompleted - sec.Rekeys)
+			rekeys += float64(sec.Rekeys)
+			retrans += float64(sec.Retransmits)
+			poisoned += float64(sec.BlocksPoisoned)
+		}
+		goodput := 1.0
+		if sent > 0 {
+			goodput = (logical - poisoned) / sent
+		}
+		row.Values = append(row.Values, goodput, resyncs, rekeys, retrans, poisoned)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

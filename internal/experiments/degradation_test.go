@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"secmgpu/internal/sweep"
+)
+
+func TestDegradationRunner(t *testing.T) {
+	tab, err := Degradation(ctx, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 9 {
+		t.Fatalf("columns=%v, want 4 schemes + 5 recovery columns", tab.Columns)
+	}
+	if len(tab.Rows) != len(degradationLevels) {
+		t.Fatalf("rows=%d, want one per outage level", len(tab.Rows))
+	}
+
+	// On a healthy fabric the unsecure column is its own baseline, no
+	// outage-driven resync fires, and goodput is perfect — but the shrunk
+	// key epoch still rotates.
+	if v, ok := tab.Value("none", "Unsecure"); !ok || v != 1 {
+		t.Errorf("healthy unsecure slowdown=%v ok=%v, want exactly 1", v, ok)
+	}
+	if v, ok := tab.Value("none", "Ours resyncs"); !ok || v != 0 {
+		t.Errorf("healthy resyncs=%v, want 0", v)
+	}
+	if v, ok := tab.Value("none", "Ours retrans"); !ok || v != 0 {
+		t.Errorf("healthy retransmits=%v, want 0", v)
+	}
+	if v, ok := tab.Value("none", "Ours goodput"); !ok || v != 1 {
+		t.Errorf("healthy goodput=%v, want 1", v)
+	}
+	if v, ok := tab.Value("none", "Ours rekeys"); !ok || v <= 0 {
+		t.Errorf("healthy rekeys=%v, want > 0 (epoch crossings need no outage)", v)
+	}
+
+	// Outages blackhole only protected messages: the unsecure column is
+	// flat across intensities.
+	if v, ok := tab.Value("heavy", "Unsecure"); !ok || v != 1 {
+		t.Errorf("heavy unsecure slowdown=%v, want 1 (immune)", v)
+	}
+
+	// Under heavy outages the resync handshake must fire and goodput must
+	// drop — but nothing may be poisoned: outages are healed, not dropped.
+	if v, ok := tab.Value("heavy", "Ours resyncs"); !ok || v <= 0 {
+		t.Errorf("heavy resyncs=%v, want > 0", v)
+	}
+	if v, ok := tab.Value("heavy", "Ours retrans"); !ok || v <= 0 {
+		t.Errorf("heavy retransmits=%v, want > 0", v)
+	}
+	if v, ok := tab.Value("heavy", "Ours goodput"); !ok || v >= 1 {
+		t.Errorf("heavy goodput=%v, want < 1", v)
+	}
+	for _, row := range []string{"none", "light", "heavy"} {
+		if v, ok := tab.Value(row, "Ours poisoned"); !ok || v != 0 {
+			t.Errorf("%s poisoned=%v, want 0 (resync supersedes poisoning)", row, v)
+		}
+	}
+}
+
+// Two same-seed runs must produce bit-identical tables: outage windows are
+// drawn from per-link seeded generators and every handshake timer is
+// deterministic in the event order.
+func TestDegradationDeterministic(t *testing.T) {
+	runOnce := func() string {
+		p := tiny()
+		p.Engine = sweep.New(2) // isolated cache per run
+		tab, err := Degradation(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.CSV()
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Errorf("same-seed degradation tables differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

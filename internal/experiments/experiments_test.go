@@ -231,8 +231,8 @@ func TestAblationDecomposition(t *testing.T) {
 
 func TestRegistryCoversAllRunners(t *testing.T) {
 	names := Names()
-	if len(names) != 26 {
-		t.Fatalf("registry has %d experiments, want 26: %v", len(names), names)
+	if len(names) != 27 {
+		t.Fatalf("registry has %d experiments, want 27: %v", len(names), names)
 	}
 	reg := Registry()
 	for _, name := range names {

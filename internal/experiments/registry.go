@@ -32,7 +32,8 @@ var registry = map[string]Runner{
 	"fig25": Fig25,
 	"fig26": Fig26,
 
-	"resilience": Resilience,
+	"resilience":  Resilience,
+	"degradation": Degradation,
 
 	"ablation-alpha-beta":  AblationAlphaBeta,
 	"ablation-batch-size":  AblationBatchSize,

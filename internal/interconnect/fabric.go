@@ -79,6 +79,10 @@ type Fabric struct {
 	faults   FaultConfig
 	faultRNG [][]*rand.Rand
 
+	// Outage state (nil until a profile is configured or a scripted
+	// outage is forced).
+	outages *outageModel
+
 	// deliverH is the single Handler used for every arrival event, with
 	// the message itself as the (pointer, hence unboxed) event payload —
 	// scheduling a delivery allocates nothing.
@@ -136,6 +140,9 @@ type FabricConfig struct {
 	// Faults injects loss/corruption/duplication into secure-channel
 	// traffic (messages carrying a Sec envelope). Zero rates disable it.
 	Faults FaultConfig
+	// Outages injects sustained link/node down windows that blackhole
+	// secure-channel traffic. The zero value is an always-up fabric.
+	Outages OutageConfig
 }
 
 // FaultConfig models a lossy fabric: each secure-channel message (one with
@@ -194,6 +201,9 @@ func NewFabric(engine *sim.Engine, cfg FabricConfig) *Fabric {
 				f.faultRNG[s][d] = rand.New(rand.NewSource(cfg.Faults.Seed ^ int64(s*n+d+1)*0x5851f42d4c957f2d))
 			}
 		}
+	}
+	if cfg.Outages.Active() {
+		f.outages = newOutageModel(n, cfg.Outages, &f.stats)
 	}
 	if cfg.Topology == TopologySwitch {
 		if cfg.SwitchBandwidth <= 0 {
@@ -279,6 +289,17 @@ func (f *Fabric) Send(msg *Message) {
 	}
 	t = f.nicIn[msg.Dst].pass(t, size)
 
+	// Outages blackhole secure-channel traffic wholesale: a dark link or a
+	// resetting endpoint swallows every protected message crossing it for
+	// the window's duration. Like faults, the decision comes after timing
+	// resolution (the bytes occupied the stages before vanishing), and the
+	// unprotected control plane is exempt so the simulation can drain.
+	if f.outages != nil && msg.Sec != nil && f.outages.blocked(now, msg.Src, msg.Dst) {
+		f.stats.OutageDropped++
+		msg.Release()
+		return
+	}
+
 	// Fault injection applies only to secure-channel traffic (messages
 	// carrying a Sec envelope); the control plane is lossless. The decision
 	// comes after timing resolution: a dropped message still occupied every
@@ -338,6 +359,13 @@ type Stats struct {
 	FaultDropped    uint64
 	FaultCorrupted  uint64
 	FaultDuplicated uint64
+
+	// Outage counters (OutageConfig): secure-channel messages blackholed
+	// by a dark link or resetting node, and the number of link/node outage
+	// windows entered (scripted windows count once when forced).
+	OutageDropped uint64
+	LinkOutages   uint64
+	NodeOutages   uint64
 }
 
 func newStats(nodes int) Stats {
@@ -381,6 +409,9 @@ type statsJSON struct {
 	FaultDropped    uint64   `json:"fdrop,omitempty"`
 	FaultCorrupted  uint64   `json:"fcorrupt,omitempty"`
 	FaultDuplicated uint64   `json:"fdup,omitempty"`
+	OutageDropped   uint64   `json:"odrop,omitempty"`
+	LinkOutages     uint64   `json:"olink,omitempty"`
+	NodeOutages     uint64   `json:"onode,omitempty"`
 }
 
 // MarshalJSON encodes the complete traffic accounting, per-node slices
@@ -397,6 +428,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		FaultDropped:    s.FaultDropped,
 		FaultCorrupted:  s.FaultCorrupted,
 		FaultDuplicated: s.FaultDuplicated,
+		OutageDropped:   s.OutageDropped,
+		LinkOutages:     s.LinkOutages,
+		NodeOutages:     s.NodeOutages,
 	})
 }
 
@@ -421,6 +455,9 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		FaultDropped:    d.FaultDropped,
 		FaultCorrupted:  d.FaultCorrupted,
 		FaultDuplicated: d.FaultDuplicated,
+		OutageDropped:   d.OutageDropped,
+		LinkOutages:     d.LinkOutages,
+		NodeOutages:     d.NodeOutages,
 	}
 	copy(s.ByCategory[:], d.ByCategory)
 	return nil

@@ -48,6 +48,9 @@ const (
 	// CatMemProt covers CPU-side memory-protection metadata traffic
 	// (counters/MACs for the untrusted host DRAM).
 	CatMemProt
+	// CatResync covers counter-resynchronization and rekeying handshake
+	// messages (RESYNC requests and their acknowledgments).
+	CatResync
 
 	numCategories
 )
@@ -65,6 +68,8 @@ func (c Category) String() string {
 		return "batch-mac"
 	case CatMemProt:
 		return "mem-prot"
+	case CatResync:
+		return "resync"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -102,6 +107,14 @@ const (
 	// operation instead of waiting forever. It rides the lossless control
 	// plane so the simulation always drains.
 	KindPoisoned
+	// KindSecResync initiates the counter-resynchronization (or rekeying)
+	// handshake: the sender proposes a fresh counter base for the pair. It
+	// carries a security envelope, so outages and faults hit it like any
+	// other protected message — the handshake has its own retry loop.
+	KindSecResync
+	// KindSecResyncAck accepts a RESYNC proposal, echoing the sequence
+	// number and counter base the receiver installed.
+	KindSecResyncAck
 )
 
 // String returns a short name for the kind.
@@ -129,6 +142,10 @@ func (k Kind) String() string {
 		return "sec-nack"
 	case KindPoisoned:
 		return "poisoned"
+	case KindSecResync:
+		return "sec-resync"
+	case KindSecResyncAck:
+		return "sec-resync-ack"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -198,6 +215,9 @@ var msgPool = sync.Pool{New: func() any { return new(Message) }}
 // Release when done. Messages constructed as plain literals (tests, cold
 // paths) never enter the pool: Release is a no-op for them.
 func AcquireMessage() *Message {
+	if a := poolAudit.Load(); a != nil {
+		a.acquired.Add(1)
+	}
 	m := msgPool.Get().(*Message)
 	m.pooled = true
 	return m
@@ -219,6 +239,9 @@ func (m *Message) Retained() bool { return m.retained }
 func (m *Message) Release() {
 	if !m.pooled {
 		return
+	}
+	if a := poolAudit.Load(); a != nil {
+		a.released.Add(1)
 	}
 	*m = Message{}
 	msgPool.Put(m)

@@ -1,0 +1,50 @@
+package interconnect
+
+import "sync/atomic"
+
+// PoolAudit counts message-pool acquires and releases while installed. A
+// drained simulation must end balanced: every AcquireMessage matched by
+// exactly one Release. Tests install one around a run to catch leaks
+// (messages parked forever) and double-releases (negative outstanding).
+//
+// The audit is a single global hook rather than a per-fabric field because
+// the pool itself is global; only one audit can be active at a time, so
+// tests that use it must not run in parallel with each other.
+type PoolAudit struct {
+	acquired atomic.Int64
+	released atomic.Int64
+}
+
+// Acquired returns the number of pool acquires observed.
+func (a *PoolAudit) Acquired() int64 { return a.acquired.Load() }
+
+// Released returns the number of pool releases observed.
+func (a *PoolAudit) Released() int64 { return a.released.Load() }
+
+// Outstanding returns acquires minus releases: zero after a clean drain,
+// positive on a leak, negative on a double release.
+func (a *PoolAudit) Outstanding() int64 { return a.acquired.Load() - a.released.Load() }
+
+// poolAudit is the installed auditor, nil when auditing is off (the normal
+// case: one atomic load on the hot path).
+var poolAudit atomic.Pointer[PoolAudit]
+
+// StartPoolAudit installs a fresh auditor and returns it. Callers must
+// StopPoolAudit when done (defer it) so unrelated runs are not counted.
+func StartPoolAudit() *PoolAudit {
+	a := &PoolAudit{}
+	poolAudit.Store(a)
+	return a
+}
+
+// StopPoolAudit uninstalls the active auditor, if any.
+func StopPoolAudit() { poolAudit.Store(nil) }
+
+// AuditOutstanding reports the active auditor's outstanding count, or zero
+// when no audit is installed. The watchdog diagnosis uses it.
+func AuditOutstanding() int64 {
+	if a := poolAudit.Load(); a != nil {
+		return a.Outstanding()
+	}
+	return 0
+}

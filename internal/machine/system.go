@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"secmgpu/internal/config"
 	"secmgpu/internal/core"
@@ -131,6 +132,13 @@ func New(cfg config.Config, traces [][]workload.Op, opt RunOptions) (*System, er
 			CorruptRate:   cfg.Faults.CorruptRate,
 			DuplicateRate: cfg.Faults.DuplicateRate,
 			Seed:          cfg.Faults.Seed,
+		},
+		Outages: interconnect.OutageConfig{
+			LinkMTBF:   cfg.Outages.LinkMTBF,
+			LinkOutage: cfg.Outages.LinkOutage,
+			NodeMTBF:   cfg.Outages.NodeMTBF,
+			NodeOutage: cfg.Outages.NodeOutage,
+			Seed:       cfg.Outages.Seed,
 		},
 	})
 
@@ -268,9 +276,28 @@ func (s *System) Run() (*Result, error) {
 		return nil, fmt.Errorf("machine: no GPU has work")
 	}
 
+	// The watchdog is armed only when the fabric can misbehave: it
+	// schedules real events, which would perturb the deterministic event
+	// ordering (and the golden digests) of fault-free runs.
+	var wd *sim.Watchdog
+	if s.cfg.WatchdogInterval > 0 && (s.cfg.Faults.Active() || s.cfg.Outages.Active()) {
+		wd = sim.NewWatchdog(s.engine, sim.WatchdogConfig{
+			Interval: sim.Cycle(s.cfg.WatchdogInterval),
+			Progress: s.progress,
+			Diagnose: s.diagnose,
+		})
+		wd.Start()
+	}
+
 	end, err := s.engine.Run()
 	if err != nil {
 		return nil, err
+	}
+	if wd != nil && wd.Tripped() {
+		// Checked before the unfinished-GPU error: a tripped run is by
+		// definition unfinished, and the diagnosis says why.
+		return nil, fmt.Errorf("machine: watchdog tripped at cycle %d after %d cycles without progress: %s",
+			wd.TrippedAt(), s.cfg.WatchdogInterval, wd.Diagnosis())
 	}
 	if s.remaining > 0 {
 		return nil, fmt.Errorf("machine: simulation drained with %d GPUs unfinished", s.remaining)
@@ -300,6 +327,45 @@ func (s *System) Run() (*Result, error) {
 	}
 	return res, nil
 }
+
+// progress is the watchdog's monotonic useful-work counter: operations
+// retired plus protected payloads delivered anywhere in the system. A run
+// that keeps its event queue busy (retry loops, handshake storms) without
+// moving this number is wedged.
+func (s *System) progress() uint64 {
+	var p uint64
+	for _, n := range s.nodes {
+		p += uint64(n.completed) + n.ep.Stats().DataReceived + n.ep.Stats().ResyncsCompleted
+	}
+	return p
+}
+
+// diagnose builds the watchdog's trip-time dump: engine-level queue and
+// timer-slab occupancy, message-pool balance, and each endpoint's live
+// protocol state, as one JSON document.
+func (s *System) diagnose() string {
+	var sb strings.Builder
+	slots, held, dead := s.engine.TimerSlab()
+	fmt.Fprintf(&sb, `{"cycle":%d,"pendingEvents":%d,"timerSlab":{"slots":%d,"held":%d,"dead":%d},"poolOutstanding":%d,"unfinishedGPUs":%d,"endpoints":[`,
+		s.engine.Now(), s.engine.Pending(), slots, held, dead,
+		interconnect.AuditOutstanding(), s.remaining)
+	for i, n := range s.nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n.ep.Diag())
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// Fabric exposes the system's interconnect for tests that script outages
+// or interpose on delivery paths.
+func (s *System) Fabric() *interconnect.Fabric { return s.fabric }
+
+// Endpoint returns a node's secure endpoint (tests wrap it in interposers
+// and inspect per-endpoint state).
+func (s *System) Endpoint(id interconnect.NodeID) *secure.Endpoint { return s.nodes[id].ep }
 
 func (s *System) gpuFinished() {
 	s.remaining--

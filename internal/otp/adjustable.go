@@ -81,5 +81,21 @@ func (a *Adjustable) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
 	return u
 }
 
+// ResyncSend jumps peer's send stream forward to ctr, invalidating its
+// buffered pads. The stream's depth (and so the Dynamic policy's current
+// partition) is untouched: invalidation and re-partitioning compose.
+func (a *Adjustable) ResyncSend(now sim.Cycle, peer int, ctr uint64) {
+	if q := &a.queues[Send][peer]; ctr > q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
+// ResyncRecv aligns peer's receive stream to expect ctr next.
+func (a *Adjustable) ResyncRecv(now sim.Cycle, peer int, ctr uint64) {
+	if q := &a.queues[Recv][peer]; ctr != q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
 // Stats returns the accumulated outcome counts.
 func (a *Adjustable) Stats() *Stats { return &a.stats }

@@ -142,6 +142,21 @@ func (c *Cached) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
 	return c.use(now, Recv, peer, ctr, true)
 }
 
+// ResyncSend jumps peer's send stream forward to ctr. The stream keeps
+// its cached allocation; only the buffered pads are invalidated.
+func (c *Cached) ResyncSend(now sim.Cycle, peer int, ctr uint64) {
+	if q := &c.queues[Send][peer]; ctr > q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
+// ResyncRecv aligns peer's receive stream to expect ctr next.
+func (c *Cached) ResyncRecv(now sim.Cycle, peer int, ctr uint64) {
+	if q := &c.queues[Recv][peer]; ctr != q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
 // Stats returns the accumulated outcome counts.
 func (c *Cached) Stats() *Stats { return &c.stats }
 

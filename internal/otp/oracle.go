@@ -40,5 +40,16 @@ func (o *Oracle) UseRecv(_ sim.Cycle, _ int, ctr uint64) Use {
 	return u
 }
 
+// ResyncSend jumps peer's send counter forward; the oracle's pads are
+// always ready, so only the counter moves.
+func (o *Oracle) ResyncSend(_ sim.Cycle, peer int, ctr uint64) {
+	if ctr > o.sendCtr[peer] {
+		o.sendCtr[peer] = ctr
+	}
+}
+
+// ResyncRecv is a no-op: the oracle has the right pad for any counter.
+func (o *Oracle) ResyncRecv(_ sim.Cycle, _ int, _ uint64) {}
+
 // Stats returns the accumulated outcome counts (all hits).
 func (o *Oracle) Stats() *Stats { return &o.stats }

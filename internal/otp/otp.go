@@ -87,6 +87,16 @@ type Manager interface {
 	// UseRecv obtains the pad for a data block arriving from peer with
 	// message counter ctr.
 	UseRecv(now sim.Cycle, peer int, ctr uint64) Use
+	// ResyncSend jumps the send counter stream toward peer to ctr (a
+	// counter-resynchronization or rekeying handshake concluded on that
+	// base). Buffered pads for superseded counters are invalidated and
+	// regenerate from now. Counters never move backward: a ctr at or
+	// behind the stream's next counter is a no-op, preserving pad
+	// uniqueness.
+	ResyncSend(now sim.Cycle, peer int, ctr uint64)
+	// ResyncRecv aligns the receive stream from peer to expect ctr next,
+	// invalidating pads buffered for the superseded counters.
+	ResyncRecv(now sim.Cycle, peer int, ctr uint64)
 	// Stats exposes the accumulated hit/partial/miss accounting.
 	Stats() *Stats
 }

@@ -59,5 +59,20 @@ func (p *Private) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
 	return u
 }
 
+// ResyncSend jumps peer's send stream forward to ctr, invalidating the
+// buffered pads (they were generated for superseded counters).
+func (p *Private) ResyncSend(now sim.Cycle, peer int, ctr uint64) {
+	if q := &p.queues[Send][peer]; ctr > q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
+// ResyncRecv aligns peer's receive stream to expect ctr next.
+func (p *Private) ResyncRecv(now sim.Cycle, peer int, ctr uint64) {
+	if q := &p.queues[Recv][peer]; ctr != q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
 // Stats returns the accumulated outcome counts.
 func (p *Private) Stats() *Stats { return &p.stats }

@@ -1,0 +1,115 @@
+package otp
+
+import (
+	"testing"
+
+	"secmgpu/internal/crypto"
+	"secmgpu/internal/sim"
+)
+
+// managers builds one warm instance of every scheme for resync testing.
+func managers() map[string]Manager {
+	eng := crypto.NewEngine(aesLat)
+	return map[string]Manager{
+		"Private": NewPrivate(4, 4, eng),
+		"Shared":  NewShared(4, 32, eng),
+		"Cached":  NewCached(4, 32, eng),
+		"Oracle":  NewOracle(4),
+	}
+}
+
+// After a send-side resync the next counter is the agreed base in every
+// scheme: re-using a pre-resync counter would re-derive an already-spent
+// pad, breaking OTP uniqueness.
+func TestResyncSendJumpsCounterForward(t *testing.T) {
+	for name, m := range managers() {
+		for i := 0; i < 3; i++ {
+			m.UseSend(sim.Cycle(1000+i), 1)
+		}
+		m.ResyncSend(2000, 1, 50)
+		if u := m.UseSend(5000, 1); u.Ctr != 50 {
+			t.Errorf("%s: counter after resync = %d, want 50", name, u.Ctr)
+		}
+	}
+}
+
+// A resync never moves a send counter backward, even if a stale handshake
+// proposes a base the stream has already passed.
+func TestResyncSendNeverRewinds(t *testing.T) {
+	for name, m := range managers() {
+		for i := 0; i < 10; i++ {
+			m.UseSend(sim.Cycle(1000+100*i), 2)
+		}
+		m.ResyncSend(3000, 2, 4) // behind the stream: must be ignored
+		if u := m.UseSend(5000, 2); u.Ctr != 10 {
+			t.Errorf("%s: counter rewound to %d, want 10", name, u.Ctr)
+		}
+	}
+}
+
+// A send-side resync invalidates the buffered pads: the agreed base's pad
+// must regenerate from the resync, so an immediate use stalls while a use
+// one full latency later hits. Oracle is exempt — its pads are always
+// ready by construction.
+func TestResyncSendInvalidatesPads(t *testing.T) {
+	for name, m := range managers() {
+		if name == "Oracle" {
+			continue
+		}
+		m.UseSend(10_000, 1) // warm: generation completed long ago
+		m.ResyncSend(20_000, 1, 100)
+		if u := m.UseSend(20_001, 1); u.Stall == 0 {
+			t.Errorf("%s: pad ready immediately after resync; stale pad survived invalidation", name)
+		}
+		m.ResyncSend(40_000, 1, 200)
+		if u := m.UseSend(40_000+2*aesLat, 1); u.Stall != 0 {
+			t.Errorf("%s: pad not regenerated %d cycles after resync (stall=%d)", name, 2*aesLat, u.Stall)
+		}
+	}
+}
+
+// A receive-side resync aligns the stream so the agreed base arrives with
+// no prediction failure, in every scheme.
+func TestResyncRecvAlignsPrediction(t *testing.T) {
+	for name, m := range managers() {
+		m.UseRecv(1000, 3, 0)
+		m.UseRecv(1100, 3, 1)
+		m.ResyncRecv(2000, 3, 77)
+		// After a full regeneration period the pad for the new base is
+		// ready: the resync was applied at handshake time, not lazily at
+		// first arrival.
+		u := m.UseRecv(2000+2*aesLat, 3, 77)
+		if u.Stall != 0 {
+			t.Errorf("%s: base counter stalled %d after pre-aligned resync", name, u.Stall)
+		}
+	}
+}
+
+// Shared's send counter is global: a resync agreed with one peer advances
+// the stream all peers draw from.
+func TestSharedResyncAdvancesGlobalStream(t *testing.T) {
+	s := NewShared(4, 32, crypto.NewEngine(aesLat))
+	s.UseSend(1000, 0)
+	s.ResyncSend(2000, 2, 500) // agreed with peer 2
+	if u := s.UseSend(5000, 1); u.Ctr != 500 {
+		t.Errorf("send to a different peer used counter %d, want 500 (global stream)", u.Ctr)
+	}
+}
+
+// Cached keeps its adaptive allocation across a resync: invalidation
+// clears pads, not the stream's claim on pool entries.
+func TestCachedResyncKeepsAllocation(t *testing.T) {
+	c := NewCached(4, 32, crypto.NewEngine(aesLat))
+	before := c.Allocated()
+	for i := 0; i < 20; i++ {
+		c.UseSend(sim.Cycle(1000+i), 1)
+	}
+	grown := c.Allocated()
+	c.ResyncSend(50_000, 1, 1000)
+	if c.Allocated() != grown {
+		t.Errorf("allocation changed across resync: %d -> %d", grown, c.Allocated())
+	}
+	if grown < before {
+		t.Errorf("burst shrank the allocation: %d -> %d", before, grown)
+	}
+}

@@ -77,5 +77,22 @@ func (s *Shared) UseRecv(now sim.Cycle, peer int, ctr uint64) Use {
 	return u
 }
 
+// ResyncSend jumps the single shared send stream forward to ctr. The
+// stream is global, so a resync agreed with one peer advances it for all;
+// the other peers' receive predictors re-align on their next arrival, as
+// they do after any interleaving — that is inherent to Shared.
+func (s *Shared) ResyncSend(now sim.Cycle, _ int, ctr uint64) {
+	if ctr > s.send.nextCtr {
+		s.send.resync(ctr, now)
+	}
+}
+
+// ResyncRecv aligns peer's receive predictor to expect ctr next.
+func (s *Shared) ResyncRecv(now sim.Cycle, peer int, ctr uint64) {
+	if q := &s.recv[peer]; ctr != q.nextCtr {
+		q.resync(ctr, now)
+	}
+}
+
 // Stats returns the accumulated outcome counts.
 func (s *Shared) Stats() *Stats { return &s.stats }

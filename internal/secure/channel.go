@@ -105,6 +105,15 @@ type Options struct {
 	// StaleBatchTimeout is how long the receiver holds an incomplete
 	// batch before NACKing and abandoning it.
 	StaleBatchTimeout sim.Cycle
+
+	// ResyncThreshold is the per-peer failure streak (ACK timeouts plus
+	// NACKs without an intervening clean ACK) that triggers a counter
+	// RESYNC handshake. Zero disables resync. Requires Recovery.
+	ResyncThreshold int
+	// RekeyEpoch is the counter span of one key epoch; crossing it drains
+	// the pair and rotates to the next epoch boundary via a rekeying
+	// RESYNC. Zero disables rekeying.
+	RekeyEpoch uint64
 }
 
 // OptionsFrom derives endpoint options from the system configuration.
@@ -121,6 +130,8 @@ func OptionsFrom(c config.Config, functional bool) Options {
 		RetransTimeout:    sim.Cycle(c.RetransTimeout),
 		RetransMaxRetries: c.RetransMaxRetries,
 		StaleBatchTimeout: sim.Cycle(c.StaleBatchTimeout),
+		ResyncThreshold:   c.ResyncThreshold,
+		RekeyEpoch:        c.RekeyEpoch,
 	}
 }
 
@@ -158,6 +169,25 @@ type Stats struct {
 	// messages (nil or out-of-range envelopes, corrupted ACK/NACK frames)
 	// discarded at the endpoint.
 	MalformedDropped uint64
+
+	// Resync/rekey handshake counters.
+	//
+	// ResyncsInitiated counts handshakes this sender launched (plain and
+	// rekey); ResyncsCompleted counts acknowledged ones; ResyncsServed
+	// counts proposals this receiver installed; ResyncRetries counts
+	// re-proposals after a handshake timeout; StaleResyncs counts
+	// duplicate or outdated handshake messages ignored by either side.
+	ResyncsInitiated, ResyncsCompleted uint64
+	ResyncsServed                      uint64
+	ResyncRetries                      uint64
+	StaleResyncs                       uint64
+	// Rekeys counts completed epoch rotations; RekeyStallCycles is the
+	// total time pairs spent draining and handshaking (send-blocked).
+	Rekeys           uint64
+	RekeyStallCycles uint64
+	// HeldSends counts SendData calls parked while their peer's stream was
+	// resyncing or draining, replayed after the handshake.
+	HeldSends uint64
 }
 
 // Merge accumulates o into s (PendingACKPeak takes the maximum).
@@ -185,6 +215,14 @@ func (s *Stats) Merge(o *Stats) {
 	s.BlocksPoisoned += o.BlocksPoisoned
 	s.Quarantined += o.Quarantined
 	s.MalformedDropped += o.MalformedDropped
+	s.ResyncsInitiated += o.ResyncsInitiated
+	s.ResyncsCompleted += o.ResyncsCompleted
+	s.ResyncsServed += o.ResyncsServed
+	s.ResyncRetries += o.ResyncRetries
+	s.StaleResyncs += o.StaleResyncs
+	s.Rekeys += o.Rekeys
+	s.RekeyStallCycles += o.RekeyStallCycles
+	s.HeldSends += o.HeldSends
 }
 
 // PoisonHandler is optionally implemented by the node logic to learn when a
@@ -300,6 +338,10 @@ type Endpoint struct {
 	poisonH PoisonHandler
 	// scanArmed guards the self-quenching receiver-side stale-batch scan.
 	scanArmed bool
+	// recov is the per-peer resync/rekey state (see resync.go); nil unless
+	// opts.Recovery.
+	recov   []peerRecovery
+	resyncH sim.Handler
 }
 
 // unitKey identifies one retransmission unit: a batch (class 0 or 1) or a
@@ -374,6 +416,11 @@ func New(engine *sim.Engine, fabric *interconnect.Fabric, node interconnect.Node
 		if ph, ok := handler.(PoisonHandler); ok {
 			e.poisonH = ph
 		}
+		e.recov = make([]peerRecovery, peers)
+		for i := range e.recov {
+			e.recov[i].peer = i
+		}
+		e.resyncH = sim.HandlerFunc(e.onResyncTimeout)
 	}
 	if opts.Functional {
 		gen, err := crypto.NewPadGenerator(SessionKey)
@@ -498,6 +545,11 @@ func (e *Endpoint) SendControl(dst interconnect.NodeID, kind interconnect.Kind, 
 // bus.
 func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, reqID, addr uint64,
 	payload []byte, homedInCPUMemory bool) {
+	if e.opts.Secure && e.resyncBlocked(dst, kind, reqID, addr, payload, homedInCPUMemory) {
+		// The peer's stream is mid-resync or mid-drain: the send is held
+		// and replays, in order, once the handshake completes.
+		return
+	}
 	msg := interconnect.AcquireMessage()
 	msg.Kind = kind
 	msg.Category = interconnect.CatData
@@ -513,6 +565,7 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 	peer := e.PeerIndex(dst)
 	now := e.engine.Now()
 	use := e.mgr.UseSend(now, peer)
+	e.noteSendCtr(peer, use.Ctr)
 	sendAt := now + use.Stall + 1 // +1: the XOR once the pad is ready
 	if sendAt < e.lastSendAt[peer] {
 		sendAt = e.lastSendAt[peer]
@@ -546,10 +599,7 @@ func (e *Endpoint) SendData(dst interconnect.NodeID, kind interconnect.Kind, req
 			// The batch closed full: its flush timer (none for a
 			// single-block batch) dies here, and its context is free for
 			// the next open batch.
-			if bt := &e.batchTimers[class][peer]; bt.timer.Cancel() {
-				e.freeBatchTimeoutCtx(bt.ctx)
-				bt.ctx = nil
-			}
+			e.cancelBatchTimer(class, peer)
 		}
 		if e.opts.Recovery {
 			u := e.trackBlock(unitKey{peer: peer, class: class, id: tag.BatchID}, dst,
@@ -640,6 +690,9 @@ func (e *Endpoint) trackBlock(key unitKey, dst interconnect.NodeID, blk txBlock)
 		u = e.newUnit()
 		u.dst, u.peer, u.class, u.id = dst, key.peer, key.class, key.id
 		e.units[key] = u
+		if e.recov != nil {
+			e.recov[key.peer].openUnits++
+		}
 	}
 	u.blocks = append(u.blocks, blk)
 	return u
@@ -776,6 +829,10 @@ func (e *Endpoint) Deliver(now sim.Cycle, msg *interconnect.Message) {
 			e.finishBatch(msg.Src, msg.Sec.BatchClass, res)
 		}
 		e.armStaleScan()
+	case interconnect.KindSecResync:
+		e.onResyncRequest(now, msg)
+	case interconnect.KindSecResyncAck:
+		e.onResyncAck(now, msg)
 	default:
 		e.handler.HandleControl(now, msg)
 	}
@@ -922,6 +979,7 @@ func (e *Endpoint) resolveUnit(key unitKey) {
 		e.pendingACK = 0
 	}
 	e.freeUnit(u)
+	e.unitResolved(key.peer, true)
 }
 
 // onNACK retransmits the named unit immediately (or poisons it when the
@@ -931,6 +989,11 @@ func (e *Endpoint) onNACK(key unitKey) {
 	u, ok := e.units[key]
 	if !ok {
 		e.stats.StaleACKs++
+		return
+	}
+	if e.bumpFailure(key.peer) {
+		// The streak crossed the resync threshold: the unit was parked by
+		// the handshake launch and re-sends after the base is agreed.
 		return
 	}
 	if u.attempt >= e.opts.RetransMaxRetries {
@@ -960,6 +1023,10 @@ func (e *Endpoint) armUnitTimer(u *txUnit, sentAt sim.Cycle) {
 func (e *Endpoint) onUnitTimeout(ev sim.Event) {
 	u := ev.Payload.(*txUnit)
 	e.stats.AckTimeouts++
+	if e.bumpFailure(u.peer) {
+		// Parked by the resync launch; the handshake re-sends it.
+		return
+	}
 	if u.attempt >= e.opts.RetransMaxRetries {
 		e.poison(u)
 		return
@@ -975,6 +1042,10 @@ func (e *Endpoint) onUnitTimeout(ev sim.Event) {
 func (e *Endpoint) retransmit(u *txUnit) {
 	u.attempt++
 	u.timer.Cancel()
+	// If the unit's batch is still open (a NACK can outrun the flush), the
+	// re-send supersedes it: drop the open remainder and its flush timer so
+	// no Batched_MsgMAC for the dead identity escapes later.
+	e.discardOpenBatch(u)
 	e.stats.Retransmits += uint64(len(u.blocks))
 	delete(e.units, u.key())
 	peer := u.peer
@@ -983,6 +1054,7 @@ func (e *Endpoint) retransmit(u *txUnit) {
 		blk := u.blocks[0]
 		now := e.engine.Now()
 		use := e.mgr.UseSend(now, peer)
+		e.noteSendCtr(peer, use.Ctr)
 		sendAt := now + use.Stall + 1
 		if sendAt < e.lastSendAt[peer] {
 			sendAt = e.lastSendAt[peer]
@@ -1012,6 +1084,7 @@ func (e *Endpoint) retransmit(u *txUnit) {
 	for i, blk := range u.blocks {
 		now := e.engine.Now()
 		use := e.mgr.UseSend(now, peer)
+		e.noteSendCtr(peer, use.Ctr)
 		sendAt := now + use.Stall + 1
 		if sendAt < e.lastSendAt[peer] {
 			sendAt = e.lastSendAt[peer]
@@ -1063,7 +1136,9 @@ func (e *Endpoint) dataMessage(dst interconnect.NodeID, blk txBlock) *interconne
 // operations fail instead of hanging the simulation.
 func (e *Endpoint) poison(u *txUnit) {
 	u.timer.Cancel()
+	e.discardOpenBatch(u)
 	delete(e.units, u.key())
+	e.unitResolved(u.peer, false)
 	e.pendingACK -= len(u.blocks)
 	if e.pendingACK < 0 {
 		e.pendingACK = 0

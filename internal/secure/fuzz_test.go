@@ -1,0 +1,39 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzResyncFrameDecode hammers the handshake decoder with arbitrary bytes:
+// frames cross the faulty fabric, so the decoder must reject every mangled
+// input without panicking, and anything it accepts must be a canonical
+// encoding (re-encoding the parsed frame reproduces the input bit for bit).
+func FuzzResyncFrameDecode(f *testing.F) {
+	for _, typ := range []byte{frameResync, frameRekey, frameAck} {
+		var buf [resyncFrameBytes]byte
+		encodeResyncFrame(buf[:], resyncFrame{Type: typ, Seq: 42, Base: 1 << 20})
+		f.Add(buf[:])
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, resyncFrameBytes))
+	f.Add(make([]byte, resyncFrameBytes+1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, ok := decodeResyncFrame(data)
+		if !ok {
+			return
+		}
+		if frame.Type < frameResync || frame.Type > frameAck {
+			t.Fatalf("decoder accepted type %d", frame.Type)
+		}
+		if frame.Base == 0 {
+			t.Fatal("decoder accepted base 0")
+		}
+		var re [resyncFrameBytes]byte
+		encodeResyncFrame(re[:], frame)
+		if !bytes.Equal(re[:], data) {
+			t.Fatalf("accepted non-canonical frame: % x re-encodes to % x", data, re)
+		}
+	})
+}

@@ -117,6 +117,15 @@ func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 // Processed reports the number of events handled so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// TimerSlab reports the cancellable-timer slab occupancy for diagnostics:
+// slots is the slab's total size, held is the slots not on the free list
+// (armed timers plus cancelled events awaiting lazy reclamation), and dead
+// is the cancelled events still occupying the queue. A wedged component
+// shows up here as held timers that never retire.
+func (e *Engine) TimerSlab() (slots, held, dead int) {
+	return len(e.timerGen), len(e.timerGen) - len(e.timerFree), e.dead
+}
+
 // Stop makes Run (or RunUntil) return after the current event completes.
 // Components use it to end a simulation when their termination condition is
 // met. A stop raised during RunUntil persists until the next RunUntil call

@@ -1,0 +1,104 @@
+package sim
+
+// WatchdogConfig parameterizes a no-progress detector.
+type WatchdogConfig struct {
+	// Interval is how many cycles may pass without Progress advancing
+	// before the watchdog trips.
+	Interval Cycle
+	// Progress returns a monotonic counter of useful work (for the secure
+	// machine: protected payload completions). The watchdog trips when it
+	// observes the same value across one full interval while events are
+	// still pending.
+	Progress func() uint64
+	// Diagnose builds the structured diagnosis captured at trip time,
+	// while the wedged state is still intact. Optional.
+	Diagnose func() string
+}
+
+// Watchdog fails a simulation loudly instead of letting it spin: if the
+// engine keeps processing events for a full interval with no progress, the
+// watchdog records a diagnosis and stops the engine. The caller checks
+// Tripped after Run returns.
+//
+// The watchdog schedules real events, which perturbs the engine's
+// (cycle, sequence) tie-breaking relative to an unwatched run — callers
+// that need bit-identical fault-free runs must only arm it when faults are
+// possible. When the rest of the queue drains, the watchdog stops
+// re-arming so it never keeps an otherwise-finished run alive.
+type Watchdog struct {
+	engine    *Engine
+	cfg       WatchdogConfig
+	h         Handler
+	timer     Timer
+	last      uint64
+	started   bool
+	stopped   bool
+	tripped   bool
+	trippedAt Cycle
+	diagnosis string
+}
+
+// NewWatchdog builds a watchdog on the engine. Start arms it.
+func NewWatchdog(engine *Engine, cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval == 0 {
+		panic("sim: watchdog needs a positive interval")
+	}
+	if cfg.Progress == nil {
+		panic("sim: watchdog needs a progress function")
+	}
+	w := &Watchdog{engine: engine, cfg: cfg}
+	w.h = HandlerFunc(w.check)
+	return w
+}
+
+// Start arms the first interval check.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.last = w.cfg.Progress()
+	w.arm()
+}
+
+// Stop disarms the watchdog; the pending check is cancelled in place.
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	w.timer.Cancel()
+}
+
+// Tripped reports whether the watchdog detected a wedged run.
+func (w *Watchdog) Tripped() bool { return w.tripped }
+
+// TrippedAt returns the cycle the watchdog fired, valid when Tripped.
+func (w *Watchdog) TrippedAt() Cycle { return w.trippedAt }
+
+// Diagnosis returns the structured dump captured at trip time, or "".
+func (w *Watchdog) Diagnosis() string { return w.diagnosis }
+
+func (w *Watchdog) arm() {
+	w.timer = w.engine.ScheduleTimerAfter(w.cfg.Interval, w.h, nil)
+}
+
+func (w *Watchdog) check(Event) {
+	if w.stopped {
+		return
+	}
+	cur := w.cfg.Progress()
+	if cur == w.last {
+		if w.engine.Pending() == 0 {
+			// Nothing else is queued: the run is draining naturally, not
+			// wedged. Not re-arming lets Run return.
+			return
+		}
+		w.tripped = true
+		w.trippedAt = w.engine.Now()
+		if w.cfg.Diagnose != nil {
+			w.diagnosis = w.cfg.Diagnose()
+		}
+		w.engine.Stop()
+		return
+	}
+	w.last = cur
+	w.arm()
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// wedge keeps the queue busy forever without making progress: the shape of
+// a stuck retry loop.
+type wedge struct {
+	e     *Engine
+	fires int
+}
+
+func (s *wedge) Handle(Event) {
+	s.fires++
+	s.e.ScheduleAfter(10, s, nil)
+}
+
+// A run with events but no progress trips the watchdog, captures the
+// diagnosis at trip time, and stops the engine.
+func TestWatchdogTripsOnNoProgress(t *testing.T) {
+	e := NewEngine()
+	s := &wedge{e: e}
+	e.Schedule(0, s, nil)
+
+	var progress uint64
+	w := NewWatchdog(e, WatchdogConfig{
+		Interval: 1000,
+		Progress: func() uint64 { return progress },
+		Diagnose: func() string { return "stuck: retry loop" },
+	})
+	w.Start()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Tripped() {
+		t.Fatal("watchdog never tripped on a wedged run")
+	}
+	if w.TrippedAt() != end {
+		t.Errorf("trippedAt=%d, run ended at %d", w.TrippedAt(), end)
+	}
+	if end > 2000 {
+		t.Errorf("engine ran to %d; the trip should stop it within one interval", end)
+	}
+	if !strings.Contains(w.Diagnosis(), "retry loop") {
+		t.Errorf("diagnosis %q lost the capture", w.Diagnosis())
+	}
+}
+
+// Progress each interval keeps the watchdog quiet, and once the workload
+// drains the watchdog stops re-arming instead of keeping the run alive.
+func TestWatchdogToleratesProgressAndDrains(t *testing.T) {
+	e := NewEngine()
+	var progress uint64
+	// Work that advances progress every 500 cycles, for 10k cycles.
+	var work func(Event)
+	work = func(Event) {
+		progress++
+		if e.Now() < 10_000 {
+			e.ScheduleAfter(500, HandlerFunc(work), nil)
+		}
+	}
+	e.Schedule(0, HandlerFunc(work), nil)
+
+	w := NewWatchdog(e, WatchdogConfig{
+		Interval: 1000,
+		Progress: func() uint64 { return progress },
+	})
+	w.Start()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tripped() {
+		t.Fatal("watchdog tripped on a progressing run")
+	}
+	// The run ends within one interval of the last real work — the
+	// watchdog must not keep the engine alive indefinitely.
+	if end > 10_000+2*1000 {
+		t.Errorf("run dragged to %d; watchdog kept re-arming an idle engine", end)
+	}
+}
+
+// Stop disarms the watchdog: a wedged run then drains via its own event
+// limit rather than the watchdog, proving no check fires after Stop.
+func TestWatchdogStopDisarms(t *testing.T) {
+	e := NewEngine()
+	e.EventLimit = 500
+	s := &wedge{e: e}
+	e.Schedule(0, s, nil)
+
+	var progress uint64
+	w := NewWatchdog(e, WatchdogConfig{
+		Interval: 1000,
+		Progress: func() uint64 { return progress },
+	})
+	w.Start()
+	w.Stop()
+	_, err := e.Run()
+	if err == nil {
+		t.Fatal("expected the event limit to end the run")
+	}
+	if w.Tripped() {
+		t.Error("stopped watchdog still tripped")
+	}
+}
+
+// The timer slab accessor reflects armed and cancelled timers.
+func TestTimerSlabStats(t *testing.T) {
+	e := NewEngine()
+	h := HandlerFunc(func(Event) {})
+	t1 := e.ScheduleTimer(100, h, nil)
+	e.ScheduleTimer(200, h, nil)
+	if slots, held, dead := e.TimerSlab(); slots != 2 || held != 2 || dead != 0 {
+		t.Fatalf("slab = (%d,%d,%d), want (2,2,0)", slots, held, dead)
+	}
+	t1.Cancel()
+	if _, held, dead := e.TimerSlab(); held != 2 || dead != 1 {
+		t.Fatalf("after cancel: held=%d dead=%d, want 2/1", held, dead)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slots, held, dead := e.TimerSlab(); slots != 2 || held != 0 || dead != 0 {
+		t.Fatalf("after drain: slab = (%d,%d,%d), want (2,0,0)", slots, held, dead)
+	}
+}
