@@ -17,12 +17,25 @@
 // different binary or config are invalidated (quarantined), never
 // silently reused.
 //
+// secbench also runs as a distributed campaign service: -serve starts a
+// coordinator exposing campaigns over a versioned HTTP+JSON API backed
+// by a lease-based work queue of sweep-cell digests, -worker starts a
+// worker process that leases cells, executes them, and publishes results
+// into the shared content-addressed store, and -submit sends a campaign
+// to a coordinator, waits, and fetches the finished tables. Because
+// results are digest-keyed, a SIGKILL'd worker is just an expired lease:
+// its cells re-lease to a surviving worker and the final tables are
+// byte-identical to a single-process run.
+//
 // Usage:
 //
 //	secbench -exp fig21 -scale 0.25
 //	secbench -exp all -scale 1.0 -csv
 //	secbench -exp all -store results/store -run-id nightly -out results/tables
 //	secbench -exp all -store results/store -resume nightly -out results/tables
+//	secbench -serve :8123 -store results/store
+//	secbench -worker -coordinator http://coord:8123 -store results/store
+//	secbench -submit -coordinator http://coord:8123 -exp fig21 -out tables
 //	secbench -list
 package main
 
@@ -35,8 +48,10 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"secmgpu/internal/campaign"
 	"secmgpu/internal/experiments"
 	"secmgpu/internal/prof"
 	"secmgpu/internal/store"
@@ -92,6 +107,13 @@ func main() {
 	heapMB := flag.Uint64("heap-watermark-mb", 0, "soft heap watermark in MiB: above it, results already persisted to the store are shed from memory (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+	serveAddr := flag.String("serve", "", "run a campaign coordinator on this address (e.g. :8123) instead of a local sweep; uses -store and -lease-ttl")
+	workerMode := flag.Bool("worker", false, "run as a campaign worker: lease cells from -coordinator, execute, publish results (shares -store)")
+	submitMode := flag.Bool("submit", false, "submit the experiment set to -coordinator as a campaign, wait, and fetch tables")
+	coordinator := flag.String("coordinator", "", "coordinator base URL for -worker and -submit (e.g. http://127.0.0.1:8123)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a leased cell without renewing before it requeues (-serve)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts when the queue is empty (-worker) and between status polls (-submit)")
+	workerName := flag.String("worker-name", "", "worker identity in lease records (default hostname-pid)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProfile, *memProfile)
@@ -107,8 +129,21 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	switch {
+	case *serveAddr != "":
+		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *quiet)
+		return
+	case *workerMode:
+		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *quiet)
+		return
+	case *submitMode:
+		spec := campaignSpec(*exp, *workloads, *gpus, *scale, *seed, *par, *retries, *cellTimeout)
+		runSubmit(ctx, *coordinator, spec, *outDir, *csv, *poll, *quiet)
+		return
+	}
 
 	engine := sweep.New(*par)
 	engine.SetCellTimeout(*cellTimeout)
@@ -176,13 +211,8 @@ func main() {
 		fmt.Print(rendered)
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(expStart).Seconds())
 		if *outDir != "" {
-			ext := ".txt"
-			if *csv {
-				ext = ".csv"
-			}
-			path := filepath.Join(*outDir, name+ext)
-			if err := store.WriteFileAtomic(path, []byte(rendered)); err != nil {
-				fmt.Fprintf(os.Stderr, "secbench: write %s: %v\n", path, err)
+			if err := writeRendered(*outDir, name, *csv, rendered); err != nil {
+				fmt.Fprintf(os.Stderr, "secbench: %v\n", err)
 				failed++
 			}
 		}
@@ -280,6 +310,167 @@ func openDurability(storeDir, resume, runID string, names []string, p experiment
 func journalRunID(j *store.Journal) string {
 	base := filepath.Base(j.Path())
 	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// writeRendered writes one experiment's rendered table under its stable
+// filename (atomic write). The single-process and -submit paths share it,
+// which is what makes their output directories byte-comparable.
+func writeRendered(outDir, name string, csv bool, rendered string) error {
+	ext := ".txt"
+	if csv {
+		ext = ".csv"
+	}
+	path := filepath.Join(outDir, name+ext)
+	if err := store.WriteFileAtomic(path, []byte(rendered)); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// campaignSpec maps the sweep flags onto the shared campaign options
+// struct — the same surface the library and the coordinator use.
+func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, par, retries int, cellTimeout time.Duration) campaign.Spec {
+	spec := campaign.Spec{
+		GPUs:        gpus,
+		Scale:       scale,
+		Seed:        seed,
+		Parallelism: par,
+		Retries:     retries,
+		CellTimeout: cellTimeout,
+	}
+	if exp != "" && exp != "all" {
+		spec.Experiments = strings.Split(exp, ",")
+	}
+	if workloads != "" {
+		spec.Workloads = strings.Split(workloads, ",")
+	}
+	return spec
+}
+
+// runServe hosts a campaign coordinator until interrupted.
+func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, quiet bool) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	} else {
+		logf("serving campaigns on %s (store %q, lease TTL %s)", addr, storeDir, leaseTTL)
+	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, store.Options{SimDigest: store.BinaryDigest()})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	err := campaign.Serve(ctx, addr, campaign.Options{Store: st, LeaseTTL: leaseTTL, Logf: logf})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+}
+
+// runWorker leases and executes cells until interrupted.
+func runWorker(ctx context.Context, coordinator, storeDir, name string, poll time.Duration, quiet bool) {
+	if coordinator == "" {
+		fatal(errors.New("-worker requires -coordinator URL"))
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, store.Options{SimDigest: store.BinaryDigest()})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	w := campaign.NewWorker(campaign.NewClient(coordinator, nil), campaign.WorkerOptions{
+		Name: name, Store: st, Poll: poll, Logf: logf,
+	})
+	w.Run(ctx)
+	ws := w.Stats()
+	fmt.Fprintf(os.Stderr, "secbench: worker %s done: %d leased, %d completed, %d failed, %d renewals lost\n",
+		w.Name(), ws.Leased, ws.Completed, ws.Failed, ws.RenewLost)
+}
+
+// runSubmit sends a campaign to the coordinator, waits for it to finish,
+// prints the tables, and writes them under the same stable filenames a
+// single-process run uses.
+func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outDir string, csv bool, poll time.Duration, quiet bool) {
+	if coordinator == "" {
+		fatal(errors.New("-submit requires -coordinator URL"))
+	}
+	client := campaign.NewClient(coordinator, nil)
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "secbench: submitted campaign %s (%d experiments)\n", st.ID, st.ExperimentsTotal)
+
+	progress := func(s campaign.Status) {
+		fmt.Fprintf(os.Stderr, "\r\033[K  campaign %s: %s · %d/%d experiments · %d cells delegated · %d completed · %d failed",
+			s.ID, s.State, s.ExperimentsDone, s.ExperimentsTotal,
+			s.Cells.Delegated, s.Cells.Completed, s.Cells.Failed)
+	}
+	if quiet {
+		progress = nil
+	}
+	final, err := client.Wait(ctx, st.ID, poll, progress)
+	if !quiet {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Interrupted: leave the campaign running server-side; a later
+			// -submit of the identical spec reuses every persisted cell.
+			fmt.Fprintf(os.Stderr, "secbench: interrupted; campaign %s continues on the coordinator\n", st.ID)
+			stopProfiles()
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	tables, err := client.Tables(ctx, st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	writeFailed := 0
+	for _, t := range tables {
+		rendered := t.Text
+		if csv {
+			rendered = t.CSV
+		}
+		fmt.Print(rendered)
+		fmt.Println()
+		if outDir != "" {
+			if err := writeRendered(outDir, t.Name, csv, rendered); err != nil {
+				fmt.Fprintf(os.Stderr, "secbench: %v\n", err)
+				writeFailed++
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "secbench: campaign %s %s: %d/%d experiments, %d cells delegated, %d completed, %d failed, %d cache hits, %d store hits\n",
+		final.ID, final.State, final.ExperimentsDone, final.ExperimentsTotal,
+		final.Cells.Delegated, final.Cells.Completed, final.Cells.Failed,
+		final.Cells.CacheHits, final.Cells.StoreHits)
+	for name, msg := range final.ExperimentErrors {
+		fmt.Fprintf(os.Stderr, "secbench: %s failed: %s\n", name, msg)
+	}
+	if final.State != campaign.StateDone || writeFailed > 0 {
+		stopProfiles()
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

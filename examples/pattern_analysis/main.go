@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,7 +22,7 @@ func main() {
 	cfg := secmgpu.DefaultConfig(4)
 	cfg.Scale = 0.25
 
-	res, err := secmgpu.Run(cfg, spec, secmgpu.RunOptions{TraceComms: true, TraceInterval: 4000})
+	res, err := secmgpu.RunContext(context.Background(), cfg, spec, secmgpu.RunOptions{TraceComms: true, TraceInterval: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}

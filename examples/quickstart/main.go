@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec, err := secmgpu.WorkloadByAbbr("mm")
 	if err != nil {
 		log.Fatal(err)
@@ -20,7 +22,7 @@ func main() {
 	cfg.Scale = 0.25 // quarter-size run; 1.0 is the full evaluation size
 
 	// Unsecure baseline.
-	base, err := secmgpu.Run(cfg, spec, secmgpu.RunOptions{})
+	base, err := secmgpu.RunContext(ctx, cfg, spec, secmgpu.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 		c.Secure = true
 		c.Scheme = scheme
 		c.Batching = batching
-		res, err := secmgpu.Run(c, spec, secmgpu.RunOptions{})
+		res, err := secmgpu.RunContext(ctx, c, spec, secmgpu.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	workloads := []string{"mt", "syr2k", "pr"}
 	schemes := []struct {
 		label    string
@@ -45,7 +47,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				sd, err := secmgpu.Slowdown(c, spec, secmgpu.RunOptions{})
+				sd, err := secmgpu.SlowdownContext(ctx, c, spec, secmgpu.RunOptions{})
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/sweep"
+	"secmgpu/internal/workload"
+)
+
+// The versioned HTTP+JSON surface. Campaign endpoints serve clients;
+// lease endpoints serve workers.
+//
+//	POST   /v1/campaigns              submit a Spec            -> 201 Status
+//	GET    /v1/campaigns              list                     -> 200 []Status
+//	GET    /v1/campaigns/{id}         status                   -> 200 Status
+//	DELETE /v1/campaigns/{id}         cancel                   -> 200 Status
+//	GET    /v1/campaigns/{id}/tables  finished tables          -> 200 tablesResponse
+//	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204
+//	POST   /v1/lease/{id}/renew       heartbeat                -> 204 | 410
+//	POST   /v1/lease/{id}/complete    publish a result         -> 204 (idempotent)
+//	POST   /v1/lease/{id}/fail        report a failed attempt  -> 204
+//	GET    /v1/healthz                liveness + queue stats   -> 200
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+
+// wireCell is a sweep cell on the wire: the workload travels by its
+// registered abbreviation (specs are code, not data), the config and
+// options as their canonical value structs.
+type wireCell struct {
+	Abbr  string             `json:"abbr"`
+	Label string             `json:"label,omitempty"`
+	Cfg   config.Config      `json:"cfg"`
+	Opt   machine.RunOptions `json:"opt"`
+}
+
+// toCell resolves the wire form against the workload registry.
+func (w wireCell) toCell() (sweep.Cell, error) {
+	spec, err := workload.ByAbbr(w.Abbr)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	return sweep.Cell{Spec: spec, Cfg: w.Cfg, Opt: w.Opt, Label: w.Label}, nil
+}
+
+// wireGrant is a lease grant on the wire.
+type wireGrant struct {
+	Lease             string   `json:"lease"`
+	Digest            string   `json:"digest"`
+	Cell              wireCell `json:"cell"`
+	TTLMillis         int64    `json:"ttl_ms"`
+	CellTimeoutMillis int64    `json:"cell_timeout_ms,omitempty"`
+	Attempt           int      `json:"attempt"`
+}
+
+// leaseRequest asks for work.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// completeRequest publishes a cell's result.
+type completeRequest struct {
+	Digest string          `json:"digest"`
+	Label  string          `json:"label,omitempty"`
+	Result *machine.Result `json:"result"`
+}
+
+// failRequest reports a failed attempt.
+type failRequest struct {
+	Digest string `json:"digest"`
+	Error  string `json:"error"`
+}
+
+// tablesResponse carries a campaign's finished tables.
+type tablesResponse struct {
+	ID     string        `json:"id"`
+	State  State         `json:"state"`
+	Tables []TableResult `json:"tables"`
+}
+
+// healthResponse is the liveness payload.
+type healthResponse struct {
+	OK        bool       `json:"ok"`
+	Campaigns int        `json:"campaigns"`
+	Pending   int        `json:"pending"`
+	Leased    int        `json:"leased"`
+	Queue     QueueStats `json:"queue"`
+}
+
+// Handler returns the coordinator's versioned HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", c.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", c.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/tables", c.handleTables)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/lease/{id}/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/lease/{id}/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/lease/{id}/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealth)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	st, err := c.Submit(spec)
+	if err != nil {
+		// Submit errors only on spec validation (unknown experiment or
+		// workload, bad sizing) — all client mistakes.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Campaigns())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Campaign(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaign: unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaign: unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleTables(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := c.Campaign(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaign: unknown campaign %q", id))
+		return
+	}
+	tables, _ := c.Tables(id)
+	writeJSON(w, http.StatusOK, tablesResponse{ID: id, State: st.State, Tables: tables})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		req.Worker = r.RemoteAddr
+	}
+	g, ok := c.queue.Lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireGrant{
+		Lease:  g.Lease,
+		Digest: g.Digest,
+		Cell: wireCell{
+			Abbr: g.Cell.Spec.Abbr, Label: g.Cell.Label,
+			Cfg: g.Cell.Cfg, Opt: g.Cell.Opt,
+		},
+		TTLMillis:         g.TTL.Milliseconds(),
+		CellTimeoutMillis: g.CellTimeout.Milliseconds(),
+		Attempt:           g.Attempt,
+	})
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if err := c.queue.Renew(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Digest == "" || req.Result == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: complete needs digest and result"))
+		return
+	}
+	c.Complete(r.PathValue("id"), req.Digest, req.Label, req.Result)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.queue.Fail(r.PathValue("id"), req.Digest, req.Error)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	pending, leased := c.queue.Depth()
+	c.mu.Lock()
+	n := len(c.campaigns)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK: true, Campaigns: n, Pending: pending, Leased: leased, Queue: c.queue.Stats(),
+	})
+}
+
+// maxBodyBytes bounds request bodies; results for large topologies stay
+// well under it.
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: undecodable request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Serve runs the coordinator's API on an already-bound listener-less
+// address until ctx is cancelled. It is the library entry point behind
+// secmgpu.Serve and secbench -serve.
+func Serve(ctx context.Context, addr string, opts Options) error {
+	c := NewCoordinator(opts)
+	defer c.Close()
+	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		return ctx.Err()
+	case err := <-errCh:
+		return err
+	}
+}

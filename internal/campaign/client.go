@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"secmgpu/internal/machine"
+)
+
+// Client is the typed HTTP client for a coordinator's v1 API, used by
+// campaign submitters (secbench -submit, library callers via
+// secmgpu.NewClient) and by workers.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the coordinator at baseURL (e.g.
+// "http://127.0.0.1:8123"). httpClient nil selects a default with a 60s
+// overall timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx coordinator response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("campaign: coordinator returned %d: %s", e.Status, e.Message)
+}
+
+// do issues one request. in nil sends no body; out nil discards the
+// response. A 204 yields ok=false with no error (used by Lease).
+func (cl *Client) do(ctx context.Context, method, path string, in, out any) (ok bool, err error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return false, fmt.Errorf("campaign: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+path, body)
+	if err != nil {
+		return false, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(data, &envelope) != nil || envelope.Error == "" {
+			envelope.Error = strings.TrimSpace(string(data))
+		}
+		return false, &APIError{Status: resp.StatusCode, Message: envelope.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("campaign: decode response: %w", err)
+		}
+	}
+	return true, nil
+}
+
+// Submit submits a campaign and returns its initial status (carrying the
+// assigned ID).
+func (cl *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
+	var st Status
+	_, err := cl.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st)
+	return st, err
+}
+
+// Campaign fetches one campaign's status.
+func (cl *Client) Campaign(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Campaigns lists campaign statuses, newest first.
+func (cl *Client) Campaigns(ctx context.Context) ([]Status, error) {
+	var out []Status
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a campaign and returns its status.
+func (cl *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := cl.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Tables fetches a campaign's finished tables.
+func (cl *Client) Tables(ctx context.Context, id string) ([]TableResult, error) {
+	var resp tablesResponse
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/tables", nil, &resp)
+	return resp.Tables, err
+}
+
+// Wait polls the campaign until it reaches a terminal state (or ctx is
+// cancelled), invoking progress (if non-nil) after every poll.
+func (cl *Client) Wait(ctx context.Context, id string, poll time.Duration, progress func(Status)) (Status, error) {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	for {
+		st, err := cl.Campaign(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if progress != nil {
+			progress(st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// ---- Worker side ----
+
+// Lease asks for one cell of work. ok=false means the queue is empty.
+func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error) {
+	var wg wireGrant
+	ok, err := cl.do(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &wg)
+	if err != nil || !ok {
+		return Grant{}, false, err
+	}
+	cell, err := wg.Cell.toCell()
+	if err != nil {
+		// The coordinator granted a workload this binary does not know;
+		// hand the lease back as a failure so another (newer) worker can
+		// take it.
+		cl.Fail(ctx, wg.Lease, wg.Digest, err.Error())
+		return Grant{}, false, err
+	}
+	return Grant{
+		Lease:       wg.Lease,
+		Digest:      wg.Digest,
+		Cell:        cell,
+		TTL:         time.Duration(wg.TTLMillis) * time.Millisecond,
+		CellTimeout: time.Duration(wg.CellTimeoutMillis) * time.Millisecond,
+		Attempt:     wg.Attempt,
+	}, true, nil
+}
+
+// Renew heartbeats a lease. A lost lease returns an *APIError with
+// status 410; the worker may keep running (its publish stays valid) but
+// should expect the cell to be re-leased elsewhere.
+func (cl *Client) Renew(ctx context.Context, leaseID string) error {
+	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/renew", struct{}{}, nil)
+	return err
+}
+
+// Complete publishes a finished cell's result. The call is idempotent:
+// publishing an already-completed digest — even under an expired lease —
+// is accepted and discarded.
+func (cl *Client) Complete(ctx context.Context, leaseID, digest, label string, res *machine.Result) error {
+	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/complete",
+		completeRequest{Digest: digest, Label: label, Result: res}, nil)
+	return err
+}
+
+// Fail reports a failed execution attempt.
+func (cl *Client) Fail(ctx context.Context, leaseID, digest, msg string) error {
+	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/fail",
+		failRequest{Digest: digest, Error: msg}, nil)
+	return err
+}
+
+// Health probes the coordinator's liveness endpoint.
+func (cl *Client) Health(ctx context.Context) error {
+	var resp healthResponse
+	if _, err := cl.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("campaign: coordinator reports unhealthy")
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"secmgpu/internal/experiments"
+	"secmgpu/internal/machine"
+	"secmgpu/internal/store"
+	"secmgpu/internal/sweep"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+const (
+	// StateRunning: experiments are executing (cells may be queued,
+	// leased, or waiting on workers).
+	StateRunning State = "running"
+	// StateDone: every experiment finished and its table is available.
+	StateDone State = "done"
+	// StateFailed: at least one experiment errored; finished tables are
+	// still available.
+	StateFailed State = "failed"
+	// StateCanceled: the campaign was cancelled before finishing.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// CellProgress counts a campaign's cell traffic. Total cell count is not
+// known up front — experiments request cells as their sweeps unfold — so
+// progress is reported as traffic so far, not a fraction.
+type CellProgress struct {
+	// Delegated cells were placed on the work queue.
+	Delegated int `json:"delegated"`
+	// Completed and Failed are delegated cells that came back.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// CacheHits and StoreHits were served without queueing: from the
+	// campaign engine's memory, or rehydrated from the shared store.
+	CacheHits int `json:"cache_hits"`
+	StoreHits int `json:"store_hits"`
+}
+
+// Status is a campaign's externally visible state, the unit of the
+// status API.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Error summarizes why a failed campaign failed.
+	Error string `json:"error,omitempty"`
+	Spec  Spec   `json:"spec"`
+	// ExperimentsDone / ExperimentsTotal track whole experiments;
+	// ExperimentErrors maps failed experiment names to their errors.
+	ExperimentsDone  int               `json:"experiments_done"`
+	ExperimentsTotal int               `json:"experiments_total"`
+	ExperimentErrors map[string]string `json:"experiment_errors,omitempty"`
+	Cells            CellProgress      `json:"cells"`
+	Created          time.Time         `json:"created"`
+	Finished         time.Time         `json:"finished,omitzero"`
+}
+
+// TableResult is one finished experiment table, rendered both ways so
+// clients need no table code.
+type TableResult struct {
+	Name  string `json:"name"`
+	ID    string `json:"table_id"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+	CSV   string `json:"csv"`
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Store is the shared content-addressed result store. Optional but
+	// strongly recommended: with it, published results are durable,
+	// repeated campaigns rehydrate instead of re-simulating, and
+	// completion is idempotent across coordinator restarts.
+	Store *store.Store
+	// LeaseTTL bounds how long a worker may hold a cell without
+	// renewing (default 30s).
+	LeaseTTL time.Duration
+	// Logf receives operational log lines (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the work queue and the set of campaigns. Construct
+// with NewCoordinator, expose over HTTP with Handler, and stop with
+// Close.
+type Coordinator struct {
+	queue *Queue
+	store *store.Store
+	logf  func(string, ...any)
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	seq       int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Campaign is one submitted experiment set and its execution state.
+type Campaign struct {
+	id      string
+	spec    Spec
+	engine  *sweep.Engine
+	journal *store.Journal
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	created  time.Time
+	finished time.Time
+	expDone  int
+	expErrs  map[string]string
+	tables   []TableResult
+	cells    CellProgress
+}
+
+// NewCoordinator returns a running coordinator. Its lease-expiry
+// collector runs until Close.
+func NewCoordinator(opts Options) *Coordinator {
+	c := &Coordinator{
+		queue:     NewQueue(opts.LeaseTTL),
+		store:     opts.Store,
+		logf:      opts.Logf,
+		campaigns: make(map[string]*Campaign),
+		stop:      make(chan struct{}),
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	go c.expiryLoop()
+	return c
+}
+
+// Close cancels every running campaign and stops the expiry collector.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, camp := range c.campaigns {
+		camp.cancel()
+	}
+}
+
+// Queue exposes the work queue (used by the API layer and tests).
+func (c *Coordinator) Queue() *Queue { return c.queue }
+
+// expiryLoop periodically requeues cells whose worker lease lapsed — the
+// mechanism that makes a SIGKILL'd worker just a delay, not a loss.
+func (c *Coordinator) expiryLoop() {
+	period := c.queue.TTL() / 2
+	if period > time.Second {
+		period = time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	// Expiry also happens inline when a worker's Lease call scans the
+	// queue, so log from the stats counter rather than this loop's own
+	// harvest — every expiry is reported either way.
+	logged := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.queue.ExpireLeases()
+			if total := c.queue.Stats().Expired; total > logged {
+				c.logf("campaign: %d lease(s) expired and requeued", total-logged)
+				logged = total
+			}
+		}
+	}
+}
+
+// Submit validates spec, registers a campaign, and starts executing it
+// asynchronously. The returned status carries the assigned campaign ID.
+func (c *Coordinator) Submit(spec Spec) (Status, error) {
+	spec = spec.withDefaults()
+	spec.Store = "" // the coordinator's store always wins
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	engine := sweep.New(spec.Parallelism)
+	engine.SetStore(c.store)
+
+	camp := &Campaign{
+		spec:    spec,
+		engine:  engine,
+		cancel:  cancel,
+		state:   StateRunning,
+		created: time.Now().UTC(),
+		expErrs: make(map[string]string),
+	}
+
+	c.mu.Lock()
+	c.seq++
+	camp.id = fmt.Sprintf("c%s-%04d", camp.created.Format("20060102-150405"), c.seq)
+	c.campaigns[camp.id] = camp
+	c.mu.Unlock()
+
+	engine.SetSimulator(c.delegate(ctx, camp))
+	if c.store != nil {
+		info := store.RunInfo{
+			ID: camp.id, SimDigest: store.BinaryDigest(),
+			Exps: spec.Experiments, GPUs: spec.GPUs, Scale: spec.Scale,
+			Seed: spec.Seed, Workloads: spec.Workloads,
+		}
+		if j, err := store.CreateJournal(c.store.JournalPath(camp.id), info); err != nil {
+			c.logf("campaign %s: journal unavailable: %v", camp.id, err)
+		} else {
+			camp.journal = j
+			engine.SetJournal(j)
+		}
+	}
+
+	c.logf("campaign %s: submitted (%d experiments, scale %v, %d GPUs)",
+		camp.id, len(spec.Experiments), spec.Scale, spec.GPUs)
+	go c.run(ctx, camp)
+	return camp.status(), nil
+}
+
+// run executes the campaign's experiments in order, mirroring what a
+// single-process secbench run does — same runners, same sweep engine
+// semantics — except that cell execution is delegated to leased workers.
+func (c *Coordinator) run(ctx context.Context, camp *Campaign) {
+	defer camp.cancel()
+	p := camp.spec.params()
+	p.Engine = camp.engine
+	canceled := false
+	for _, name := range camp.spec.Experiments {
+		runner, err := experiments.Lookup(name) // validated at submit; a miss here is a bug
+		if err != nil {
+			camp.experimentFailed(name, err)
+			continue
+		}
+		table, err := runner(ctx, p)
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		if err != nil {
+			c.logf("campaign %s: %s failed: %v", camp.id, name, err)
+			camp.experimentFailed(name, err)
+			continue
+		}
+		camp.experimentDone(name, table)
+		c.logf("campaign %s: %s done", camp.id, name)
+	}
+	camp.finish(canceled)
+	if err := camp.journal.Err(); err != nil {
+		c.logf("campaign %s: journal writes failed (results are still persisted): %v", camp.id, err)
+	}
+	camp.journal.Close()
+	st := camp.status()
+	c.logf("campaign %s: %s (%d/%d experiments, %d cells delegated, %d completed, %d failed)",
+		camp.id, st.State, st.ExperimentsDone, st.ExperimentsTotal,
+		st.Cells.Delegated, st.Cells.Completed, st.Cells.Failed)
+}
+
+// delegate is the campaign engine's cell executor: enqueue the cell on
+// the lease queue and wait for a worker's published result. The engine's
+// cache, coalescing, and store rehydration run before this, so only
+// genuinely new cells reach the queue.
+func (c *Coordinator) delegate(ctx context.Context, camp *Campaign) func(sweep.Cell) (*machine.Result, error) {
+	return func(cell sweep.Cell) (*machine.Result, error) {
+		ch := make(chan Outcome, 1)
+		digest, wid := c.queue.Enqueue(cell, camp.spec.Retries+1, camp.spec.CellTimeout, ch)
+		camp.cellDelegated()
+		select {
+		case out := <-ch:
+			camp.cellReturned(out.Err)
+			return out.Res, out.Err
+		case <-ctx.Done():
+			c.queue.Abandon(digest, wid)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Cancel stops a running campaign. Cancelling a finished campaign is a
+// no-op that reports its terminal status.
+func (c *Coordinator) Cancel(id string) (Status, bool) {
+	camp, ok := c.campaign(id)
+	if !ok {
+		return Status{}, false
+	}
+	camp.cancel()
+	return camp.status(), true
+}
+
+// Campaign returns one campaign's status.
+func (c *Coordinator) Campaign(id string) (Status, bool) {
+	camp, ok := c.campaign(id)
+	if !ok {
+		return Status{}, false
+	}
+	return camp.status(), true
+}
+
+// Campaigns lists every campaign's status, newest first.
+func (c *Coordinator) Campaigns() []Status {
+	c.mu.Lock()
+	campaigns := make([]*Campaign, 0, len(c.campaigns))
+	for _, camp := range c.campaigns {
+		campaigns = append(campaigns, camp)
+	}
+	c.mu.Unlock()
+	out := make([]Status, 0, len(campaigns))
+	for _, camp := range campaigns {
+		out = append(out, camp.status())
+	}
+	// Newest first by ID (IDs embed the creation time and a sequence).
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// Tables returns the finished tables of a campaign (those whose
+// experiments completed; a running or failed campaign returns the subset
+// finished so far).
+func (c *Coordinator) Tables(id string) ([]TableResult, bool) {
+	camp, ok := c.campaign(id)
+	if !ok {
+		return nil, false
+	}
+	camp.mu.Lock()
+	defer camp.mu.Unlock()
+	out := make([]TableResult, len(camp.tables))
+	copy(out, camp.tables)
+	return out, true
+}
+
+// Complete publishes a worker's result: persist it into the shared store
+// first (idempotent — the digest keying makes re-publishing the same
+// cell a no-op), then resolve the queue task and wake its waiters.
+func (c *Coordinator) Complete(leaseID, digest, label string, res *machine.Result) {
+	if c.store != nil {
+		if _, ok := c.store.Get(digest); !ok {
+			if err := c.store.Put(digest, label, res); err != nil {
+				c.logf("campaign: persist %s: %v", digest, err)
+			}
+		}
+	}
+	c.queue.Complete(leaseID, digest, res)
+}
+
+func (c *Coordinator) campaign(id string) (*Campaign, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	camp, ok := c.campaigns[id]
+	return camp, ok
+}
+
+// ---- Campaign state transitions ----
+
+func (camp *Campaign) cellDelegated() {
+	camp.mu.Lock()
+	camp.cells.Delegated++
+	camp.mu.Unlock()
+}
+
+func (camp *Campaign) cellReturned(err error) {
+	camp.mu.Lock()
+	if err != nil {
+		camp.cells.Failed++
+	} else {
+		camp.cells.Completed++
+	}
+	camp.mu.Unlock()
+}
+
+func (camp *Campaign) experimentDone(name string, table *experiments.Table) {
+	camp.mu.Lock()
+	camp.expDone++
+	camp.tables = append(camp.tables, TableResult{
+		Name: name, ID: table.ID, Title: table.Title,
+		Text: table.String(), CSV: table.CSV(),
+	})
+	camp.mu.Unlock()
+}
+
+func (camp *Campaign) experimentFailed(name string, err error) {
+	camp.mu.Lock()
+	camp.expDone++
+	camp.expErrs[name] = err.Error()
+	camp.mu.Unlock()
+}
+
+func (camp *Campaign) finish(canceled bool) {
+	camp.mu.Lock()
+	defer camp.mu.Unlock()
+	camp.finished = time.Now().UTC()
+	switch {
+	case canceled:
+		camp.state = StateCanceled
+		camp.err = "canceled"
+	case len(camp.expErrs) > 0:
+		camp.state = StateFailed
+		camp.err = fmt.Sprintf("%d of %d experiments failed", len(camp.expErrs), len(camp.spec.Experiments))
+	default:
+		camp.state = StateDone
+	}
+}
+
+func (camp *Campaign) status() Status {
+	es := camp.engine.Stats()
+	camp.mu.Lock()
+	defer camp.mu.Unlock()
+	st := Status{
+		ID:               camp.id,
+		State:            camp.state,
+		Error:            camp.err,
+		Spec:             camp.spec,
+		ExperimentsDone:  camp.expDone,
+		ExperimentsTotal: len(camp.spec.Experiments),
+		Cells:            camp.cells,
+		Created:          camp.created,
+		Finished:         camp.finished,
+	}
+	st.Cells.CacheHits = es.CacheHits
+	st.Cells.StoreHits = es.StoreHits
+	if len(camp.expErrs) > 0 {
+		st.ExperimentErrors = make(map[string]string, len(camp.expErrs))
+		for k, v := range camp.expErrs {
+			st.ExperimentErrors[k] = v
+		}
+	}
+	return st
+}

@@ -1,0 +1,423 @@
+// Package campaign serves sweep campaigns as a long-running system: a
+// coordinator exposes a versioned HTTP+JSON API (submit, status, cancel,
+// fetch tables) backed by a work queue of sweep-cell digests with
+// time-bounded leases, and worker processes lease cells, execute them
+// through the existing sweep engine, and publish results into the shared
+// content-addressed store.
+//
+// The store's digest keying is what makes the whole protocol safe under
+// failure: a simulation is deterministic in its cell digest, so a result
+// is valid no matter which worker produced it or how many times, a
+// crashed worker is just an expired lease waiting to be re-issued, and a
+// stalled worker publishing after its lease expired is a no-op rather
+// than corruption.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"secmgpu/internal/machine"
+	"secmgpu/internal/sweep"
+)
+
+// Outcome is the terminal state of one queued cell, delivered to every
+// campaign waiting on it.
+type Outcome struct {
+	Res *machine.Result
+	Err error
+}
+
+// taskState is the lifecycle of one queued cell.
+type taskState int
+
+const (
+	// taskPending: in the queue, waiting for a worker lease.
+	taskPending taskState = iota
+	// taskLeased: held by a worker under a live lease.
+	taskLeased
+	// taskDone: a verified result was published.
+	taskDone
+	// taskFailed: every granted attempt failed.
+	taskFailed
+)
+
+// task is one unit of work: a sweep cell identified by its content
+// digest. Tasks are deduplicated by digest across campaigns, so two
+// campaigns needing the same cell wait on one simulation.
+type task struct {
+	digest string
+	cell   sweep.Cell
+	state  taskState
+
+	// attempts counts failed attempts so far; maxAttempts bounds them
+	// (raised to the most generous enqueuer's budget).
+	attempts    int
+	maxAttempts int
+
+	// cellTimeout travels with lease grants so workers bound the cell's
+	// wall time; the most lenient enqueuer wins (0 = unbounded).
+	cellTimeout time.Duration
+
+	// lease is the live lease when state == taskLeased.
+	lease *lease
+
+	// waiters are delivery channels keyed by waiter ID; each channel has
+	// capacity 1 and receives exactly one Outcome.
+	waiters map[int]chan<- Outcome
+
+	res *machine.Result
+	err error
+}
+
+// lease is one worker's time-bounded claim on a task.
+type lease struct {
+	id       string
+	digest   string
+	worker   string
+	deadline time.Time
+}
+
+// Grant is what a worker receives from a successful lease call.
+type Grant struct {
+	// Lease is the opaque lease ID used for renew/complete/fail.
+	Lease string
+	// Digest is the cell's content address (also the store key).
+	Digest string
+	// Cell is the work itself.
+	Cell sweep.Cell
+	// TTL is the lease duration; the worker must renew within it.
+	TTL time.Duration
+	// CellTimeout bounds the cell's simulation wall time (0 = unbounded).
+	CellTimeout time.Duration
+	// Attempt is 1 for the first execution of this cell, higher after
+	// failures or expiries.
+	Attempt int
+}
+
+// QueueStats counts queue activity since construction.
+type QueueStats struct {
+	// Enqueued counts distinct tasks added (dedup hits do not count).
+	Enqueued int
+	// Deduped counts enqueues coalesced onto an existing task.
+	Deduped int
+	// Leased counts lease grants.
+	Leased int
+	// Expired counts leases that timed out and requeued their task.
+	Expired int
+	// Completed counts first-time task completions.
+	Completed int
+	// LatePublishes counts publishes for a task that was already done —
+	// a stalled worker finishing after its lease expired and the cell
+	// was re-run. Harmless by construction (digest-keyed results).
+	LatePublishes int
+	// Failed counts tasks that exhausted their attempts.
+	Failed int
+	// Abandoned counts pending tasks pruned because no campaign waits
+	// on them anymore.
+	Abandoned int
+}
+
+// Queue is the coordinator's lease-based work queue. All methods are safe
+// for concurrent use. Time is injectable for tests.
+type Queue struct {
+	mu      sync.Mutex
+	tasks   map[string]*task
+	pending []string // FIFO of pending task digests
+	leases  map[string]*lease
+	ttl     time.Duration
+	now     func() time.Time
+
+	nextLease  int
+	nextWaiter int
+	stats      QueueStats
+}
+
+// NewQueue returns a queue issuing leases of the given TTL (<= 0 selects
+// 30s).
+func NewQueue(ttl time.Duration) *Queue {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &Queue{
+		tasks:  make(map[string]*task),
+		leases: make(map[string]*lease),
+		ttl:    ttl,
+		now:    time.Now,
+	}
+}
+
+// TTL returns the lease duration.
+func (q *Queue) TTL() time.Duration { return q.ttl }
+
+// Stats returns a snapshot of the activity counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Depth returns the number of pending and leased tasks.
+func (q *Queue) Depth() (pending, leased int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, t := range q.tasks {
+		switch t.state {
+		case taskPending:
+			pending++
+		case taskLeased:
+			leased++
+		}
+	}
+	return pending, leased
+}
+
+// Enqueue adds a cell (identified by its digest) and registers ch to
+// receive its Outcome. If an identical task is already queued, leased, or
+// finished, the call coalesces onto it: a finished task delivers
+// immediately, otherwise ch is added to the waiter set. maxAttempts
+// bounds execution attempts (a more generous budget raises an existing
+// task's bound) and cellTimeout travels with the task's lease grants
+// (the most lenient enqueuer wins). The returned waiter ID cancels the
+// interest via Abandon. ch must have capacity >= 1; it receives exactly
+// one Outcome unless abandoned first.
+func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Duration, ch chan<- Outcome) (digest string, waiterID int) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	digest = cell.Key().Digest()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextWaiter++
+	waiterID = q.nextWaiter
+	if t, ok := q.tasks[digest]; ok {
+		q.stats.Deduped++
+		if cellTimeout == 0 || (t.cellTimeout != 0 && cellTimeout > t.cellTimeout) {
+			t.cellTimeout = cellTimeout
+		}
+		switch t.state {
+		case taskDone:
+			ch <- Outcome{Res: t.res}
+		case taskFailed:
+			// A fresh campaign gets a fresh chance: revive the task
+			// rather than replaying a stale failure.
+			t.state = taskPending
+			t.attempts = 0
+			t.err = nil
+			t.maxAttempts = maxAttempts
+			t.waiters[waiterID] = ch
+			q.pending = append(q.pending, digest)
+		default:
+			if maxAttempts > t.maxAttempts {
+				t.maxAttempts = maxAttempts
+			}
+			t.waiters[waiterID] = ch
+		}
+		return digest, waiterID
+	}
+	t := &task{
+		digest:      digest,
+		cell:        cell,
+		state:       taskPending,
+		maxAttempts: maxAttempts,
+		cellTimeout: cellTimeout,
+		waiters:     map[int]chan<- Outcome{waiterID: ch},
+	}
+	q.tasks[digest] = t
+	q.pending = append(q.pending, digest)
+	q.stats.Enqueued++
+	return digest, waiterID
+}
+
+// Abandon withdraws a waiter's interest in a task. A pending task nobody
+// waits on anymore is pruned (a leased one finishes and its result is
+// kept — it is already paid for and digest-keyed for reuse).
+func (q *Queue) Abandon(digest string, waiterID int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[digest]
+	if !ok {
+		return
+	}
+	delete(t.waiters, waiterID)
+	if len(t.waiters) == 0 && t.state == taskPending {
+		delete(q.tasks, digest)
+		q.removePending(digest)
+		q.stats.Abandoned++
+	}
+}
+
+// Lease grants the oldest pending task to worker under a fresh lease, or
+// reports ok=false when nothing is pending. Expired leases are collected
+// first, so a crashed worker's task is grantable as soon as its TTL
+// lapses.
+func (q *Queue) Lease(worker string) (Grant, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	for len(q.pending) > 0 {
+		digest := q.pending[0]
+		q.pending = q.pending[1:]
+		t, ok := q.tasks[digest]
+		if !ok || t.state != taskPending {
+			continue // pruned or completed-by-late-publish entries
+		}
+		q.nextLease++
+		l := &lease{
+			id:       fmt.Sprintf("l%06d", q.nextLease),
+			digest:   digest,
+			worker:   worker,
+			deadline: q.now().Add(q.ttl),
+		}
+		t.state = taskLeased
+		t.lease = l
+		q.leases[l.id] = l
+		q.stats.Leased++
+		return Grant{
+			Lease:       l.id,
+			Digest:      digest,
+			Cell:        t.cell,
+			TTL:         q.ttl,
+			CellTimeout: t.cellTimeout,
+			Attempt:     t.attempts + 1,
+		}, true
+	}
+	return Grant{}, false
+}
+
+// ErrLeaseGone is returned by Renew when the lease expired or was
+// superseded; the worker should finish (its publish is still accepted
+// and idempotent) but must expect the cell may also run elsewhere.
+var ErrLeaseGone = fmt.Errorf("campaign: lease expired or superseded")
+
+// Renew extends a live lease by the queue TTL.
+func (q *Queue) Renew(leaseID string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return ErrLeaseGone
+	}
+	l.deadline = q.now().Add(q.ttl)
+	return nil
+}
+
+// Complete publishes a result for digest. It is idempotent and lease-
+// lenient by design: the first publish for a task delivers the result to
+// every waiter and marks it done, regardless of whether the publishing
+// worker's lease is still live (results are digest-keyed, so a late
+// publish from an expired lease is just as valid). Publishes after the
+// task is done are counted and dropped — the no-op the store's content
+// addressing guarantees. Unknown digests are ignored.
+func (q *Queue) Complete(leaseID, digest string, res *machine.Result) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.dropLease(leaseID)
+	t, ok := q.tasks[digest]
+	if !ok {
+		return
+	}
+	if t.state == taskDone {
+		q.stats.LatePublishes++
+		return
+	}
+	if t.lease != nil {
+		// Another worker holds a newer lease on this task; its eventual
+		// publish will be the late no-op instead.
+		q.dropLease(t.lease.id)
+		t.lease = nil
+	}
+	q.removePending(digest)
+	t.state = taskDone
+	t.res = res
+	q.stats.Completed++
+	q.deliverLocked(t, Outcome{Res: res})
+}
+
+// Fail reports a worker-side execution failure. A failure under a stale
+// lease is ignored (the task was already requeued or completed). Within
+// the attempt budget the task requeues; exhausting it delivers the error
+// to every waiter.
+func (q *Queue) Fail(leaseID, digest, msg string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, live := q.leases[leaseID]
+	q.dropLease(leaseID)
+	if !live || l.digest != digest {
+		return
+	}
+	t, ok := q.tasks[digest]
+	if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != leaseID {
+		return
+	}
+	t.lease = nil
+	t.attempts++
+	if t.attempts >= t.maxAttempts {
+		t.state = taskFailed
+		t.err = fmt.Errorf("campaign: cell %s failed after %d attempts: %s", t.cell.Label, t.attempts, msg)
+		q.stats.Failed++
+		q.deliverLocked(t, Outcome{Err: t.err})
+		return
+	}
+	t.state = taskPending
+	q.pending = append(q.pending, digest)
+}
+
+// ExpireLeases requeues every task whose lease deadline passed and
+// returns how many expired. The coordinator calls it periodically; Lease
+// and Renew also collect lazily.
+func (q *Queue) ExpireLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked()
+}
+
+// expireLocked requeues tasks with lapsed leases. An expiry does not
+// consume an attempt: the worker may be slow rather than broken, and its
+// late publish remains acceptable; only explicit Fail reports burn
+// attempts.
+func (q *Queue) expireLocked() int {
+	now := q.now()
+	expired := 0
+	for id, l := range q.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(q.leases, id)
+		expired++
+		t, ok := q.tasks[l.digest]
+		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != id {
+			continue
+		}
+		t.lease = nil
+		t.state = taskPending
+		q.pending = append(q.pending, l.digest)
+	}
+	q.stats.Expired += expired
+	return expired
+}
+
+// deliverLocked sends the outcome to every waiter and clears the set.
+func (q *Queue) deliverLocked(t *task, out Outcome) {
+	for _, ch := range t.waiters {
+		ch <- out
+	}
+	t.waiters = make(map[int]chan<- Outcome)
+}
+
+// dropLease removes a lease entry if present.
+func (q *Queue) dropLease(leaseID string) {
+	delete(q.leases, leaseID)
+}
+
+// removePending deletes digest from the pending FIFO if queued.
+func (q *Queue) removePending(digest string) {
+	for i, d := range q.pending {
+		if d == digest {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"secmgpu/internal/machine"
+	"secmgpu/internal/store"
+	"secmgpu/internal/sweep"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Name identifies the worker in lease records and logs (default
+	// "<hostname>-<pid>").
+	Name string
+	// Store is the shared content-addressed store (optional). With it,
+	// the worker persists results as it finishes them and serves
+	// repeated cells from disk without re-simulating; without it,
+	// results still reach the coordinator through the publish call.
+	Store *store.Store
+	// Poll is the idle wait between lease attempts when the queue is
+	// empty (default 500ms).
+	Poll time.Duration
+	// Logf receives operational log lines (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// Worker leases cells from a coordinator, executes them through the
+// sweep engine, and publishes results. Crash-safety needs nothing from
+// the worker: if it dies mid-cell, the lease expires and the cell is
+// re-leased; if it stalls and publishes late, the digest-keyed store
+// makes the publish a no-op.
+type Worker struct {
+	client *Client
+	name   string
+	poll   time.Duration
+	logf   func(string, ...any)
+	engine *sweep.Engine
+
+	mu    sync.Mutex
+	stats WorkerStats
+}
+
+// WorkerStats counts a worker's activity.
+type WorkerStats struct {
+	// Leased counts granted cells, Completed successful publishes,
+	// Failed reported failures.
+	Leased    int
+	Completed int
+	Failed    int
+	// RenewLost counts heartbeats that found the lease already expired
+	// or superseded (the worker kept going; its publish stayed valid).
+	RenewLost int
+}
+
+// NewWorker returns a worker for the given coordinator client.
+func NewWorker(client *Client, opts WorkerOptions) *Worker {
+	name := opts.Name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	engine := sweep.New(1)
+	engine.SetStore(opts.Store)
+	return &Worker{client: client, name: name, poll: poll, logf: logf, engine: engine}
+}
+
+// Name returns the worker's lease identity.
+func (w *Worker) Name() string { return w.name }
+
+// Stats returns a snapshot of the activity counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Run leases and executes cells until ctx is cancelled. Transient
+// coordinator errors (it restarted, the network blipped) are retried
+// after the poll interval; Run returns only ctx.Err().
+func (w *Worker) Run(ctx context.Context) error {
+	w.logf("worker %s: polling for work", w.name)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, ok, err := w.client.Lease(ctx, w.name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("worker %s: lease: %v", w.name, err)
+			ok = false
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.poll):
+			}
+			continue
+		}
+		w.runCell(ctx, grant)
+	}
+}
+
+// runCell executes one granted cell under a heartbeat and publishes the
+// outcome.
+func (w *Worker) runCell(ctx context.Context, g Grant) {
+	w.mu.Lock()
+	w.stats.Leased++
+	w.mu.Unlock()
+	w.logf("worker %s: leased %s (%s, attempt %d)", w.name, g.Digest[:12], g.Cell.Label, g.Attempt)
+
+	stopBeat := w.heartbeat(ctx, g)
+	res, err := w.execute(ctx, g)
+	stopBeat()
+
+	if err != nil {
+		// A cancelled worker reports nothing: the lease will expire and
+		// the cell re-lease, exactly like a crash.
+		if ctx.Err() != nil {
+			return
+		}
+		w.mu.Lock()
+		w.stats.Failed++
+		w.mu.Unlock()
+		w.logf("worker %s: cell %s failed: %v", w.name, g.Digest[:12], err)
+		if ferr := w.client.Fail(ctx, g.Lease, g.Digest, err.Error()); ferr != nil {
+			w.logf("worker %s: report failure: %v", w.name, ferr)
+		}
+		return
+	}
+
+	if cerr := w.client.Complete(ctx, g.Lease, g.Digest, g.Cell.Label, res); cerr != nil {
+		w.logf("worker %s: publish %s: %v", w.name, g.Digest[:12], cerr)
+		return
+	}
+	w.mu.Lock()
+	w.stats.Completed++
+	w.mu.Unlock()
+	w.logf("worker %s: completed %s (%s)", w.name, g.Digest[:12], g.Cell.Label)
+}
+
+// execute runs the cell through the worker's sweep engine: panic guard,
+// per-grant cell timeout, store persistence and rehydration all come
+// with it.
+func (w *Worker) execute(ctx context.Context, g Grant) (*machine.Result, error) {
+	w.engine.SetCellTimeout(g.CellTimeout)
+	w.engine.SetSimulator(func(c sweep.Cell) (*machine.Result, error) {
+		return sweep.SimulateContext(ctx, c)
+	})
+	results, err := w.engine.Run(ctx, []sweep.Cell{g.Cell}, 1)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// heartbeat renews the lease every TTL/3 until the returned stop func is
+// called. A lost lease is logged and counted, not fatal: the execution
+// continues and the publish remains valid (and idempotent).
+func (w *Worker) heartbeat(ctx context.Context, g Grant) (stop func()) {
+	if g.TTL <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(g.TTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				err := w.client.Renew(ctx, g.Lease)
+				var apiErr *APIError
+				switch {
+				case err == nil:
+				case errors.As(err, &apiErr) && apiErr.Status == 410:
+					w.mu.Lock()
+					w.stats.RenewLost++
+					w.mu.Unlock()
+					w.logf("worker %s: lease %s lost; finishing anyway (publish stays valid)", w.name, g.Lease)
+					return
+				default:
+					w.logf("worker %s: renew %s: %v", w.name, g.Lease, err)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -2,8 +2,14 @@ package experiments
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sort"
 )
+
+// ErrUnknownExperiment is wrapped by Lookup when a name is not in the
+// registry; match it with errors.Is.
+var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Runner reproduces one table or figure. Cancelling ctx stops the sweep
 // between cells and returns ctx.Err().
@@ -43,6 +49,16 @@ var registry = map[string]Runner{
 	"ablation-tlb":         AblationTLB,
 	"ablation-topology":    AblationTopology,
 	"ablation-cu-frontend": AblationCUFrontEnd,
+}
+
+// Lookup returns the runner registered under name. An unregistered name
+// yields an error satisfying errors.Is(err, ErrUnknownExperiment) that
+// lists the known names.
+func Lookup(name string) (Runner, error) {
+	if r, ok := registry[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownExperiment, name, Names())
 }
 
 // Registry returns the experiment runners by name (a fresh copy; mutating

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"secmgpu/internal/config"
+)
+
+func TestRunContextCancelledUpfront(t *testing.T) {
+	sys, err := New(config.Default(2), allTraces(2, 100, 5, 4), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// tripCtx is a context that reports Canceled only from its nth Err()
+// call on, letting the test cancel deterministically mid-run (after the
+// upfront check, at the engine's first periodic poll).
+type tripCtx struct {
+	context.Context
+	calls, trip int
+}
+
+func (c *tripCtx) Done() <-chan struct{} { return make(chan struct{}) }
+func (c *tripCtx) Err() error {
+	c.calls++
+	if c.calls >= c.trip {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// A big enough trace that the engine's periodic check fires at least
+	// once mid-run.
+	sys, err := New(config.Default(4), allTraces(4, 5000, 2, 3), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &tripCtx{Context: context.Background(), trip: 2}
+	res, err := sys.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if ctx.calls < 2 {
+		t.Fatalf("Err polled %d times; the engine never checked mid-run", ctx.calls)
+	}
+}
+
+// TestRunContextDoesNotPerturbUncancelled checks that threading a live
+// (never-cancelled) context through a run leaves the simulation's event
+// order — and therefore its deterministic outcome — untouched.
+func TestRunContextDoesNotPerturbUncancelled(t *testing.T) {
+	cfg := config.Default(4)
+	cfg.Secure = true
+	cfg.Scheme = config.OTPDynamic
+	cfg.Batching = true
+
+	plain := run(t, cfg, allTraces(4, 1500, 5, 4), RunOptions{})
+
+	sys, err := New(cfg, allTraces(4, 1500, 5, 4), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := sys.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Cycles != plain.Cycles || withCtx.Ops != plain.Ops {
+		t.Fatalf("context-threaded run diverged: cycles %d vs %d, ops %d vs %d",
+			withCtx.Cycles, plain.Cycles, withCtx.Ops, plain.Ops)
+	}
+}

@@ -7,6 +7,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -248,12 +249,25 @@ func buildOTPManager(cfg config.Config) (otp.Manager, *core.Dynamic) {
 }
 
 // Run simulates to completion and returns the result. A system can only be
-// run once.
-func (s *System) Run() (*Result, error) {
+// run once. It is equivalent to RunContext with a background context.
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext simulates to completion and returns the result. A system can
+// only be run once. Cancelling ctx aborts the simulation within a bounded
+// number of events and returns ctx's error; the cancellation poll never
+// schedules events, so an uncancelled run is event-for-event identical to
+// Run (golden digests are unaffected).
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.ran {
 		return nil, fmt.Errorf("machine: system already ran")
 	}
 	s.ran = true
+	if ctx.Done() != nil {
+		s.engine.Check = ctx.Err
+	}
 	for _, tk := range s.tickers {
 		tk.Start()
 	}
@@ -291,6 +305,11 @@ func (s *System) Run() (*Result, error) {
 
 	end, err := s.engine.Run()
 	if err != nil {
+		// A cancelled context surfaces as the context's own error so
+		// callers can errors.Is it against context.Canceled.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	if wd != nil && wd.Tripped() {

@@ -73,7 +73,13 @@ type Engine struct {
 	// EventLimit bounds the number of events processed by Run as a runaway
 	// guard; zero means no limit.
 	EventLimit uint64
-	processed  uint64
+	// Check, when non-nil, is polled once every checkInterval processed
+	// events inside Run; a non-nil return aborts the run with that error.
+	// The poll schedules nothing and mutates nothing, so enabling it does
+	// not perturb the deterministic event order (golden digests are
+	// unaffected). machine.RunContext uses it for context cancellation.
+	Check     func() error
+	processed uint64
 
 	// Timer slab: timerGen[slot] is the generation a live timer event must
 	// match to fire; Cancel bumps it so the queued event dies in place.
@@ -133,9 +139,15 @@ func (e *Engine) TimerSlab() (slots, held, dead int) {
 // next call's limit.
 func (e *Engine) Stop() { e.stopped = true }
 
+// checkInterval is how many processed events elapse between Check polls.
+// Large enough that the indirect call cost vanishes, small enough that a
+// cancelled context stops a run within milliseconds.
+const checkInterval = 16384
+
 // Run processes events in (cycle, sequence) order until the queue drains,
-// Stop is called, or EventLimit is hit. It returns the final cycle and an
-// error if the event limit was exceeded.
+// Stop is called, EventLimit is hit, or Check reports an error. It returns
+// the final cycle and an error if the event limit was exceeded or Check
+// failed.
 func (e *Engine) Run() (Cycle, error) {
 	e.stopped = false
 	for !e.stopped {
@@ -150,6 +162,11 @@ func (e *Engine) Run() (Cycle, error) {
 		e.processed++
 		if e.EventLimit > 0 && e.processed > e.EventLimit {
 			return e.now, fmt.Errorf("sim: event limit %d exceeded at cycle %d", e.EventLimit, e.now)
+		}
+		if e.Check != nil && e.processed%checkInterval == 0 {
+			if err := e.Check(); err != nil {
+				return e.now, err
+			}
 		}
 		ev.Handler.Handle(ev)
 	}

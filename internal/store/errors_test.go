@@ -1,0 +1,57 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestVerifyMatchingParams(t *testing.T) {
+	a := RunInfo{ID: "r1", Exps: []string{"fig21"}, GPUs: 4, Scale: 0.25, Seed: 1, Workloads: []string{"mm"}}
+	b := a
+	b.SimDigest = "different-binary" // the sim digest has its own invalidation path
+	if err := a.Verify(b); err != nil {
+		t.Fatalf("identical params rejected: %v", err)
+	}
+}
+
+// TestVerifyMismatchNamesDifferingFields pins the -resume UX: a params
+// digest mismatch must say WHICH fields differ, journal value first.
+func TestVerifyMismatchNamesDifferingFields(t *testing.T) {
+	journal := RunInfo{ID: "r1", Exps: []string{"fig21", "fig23"}, GPUs: 4, Scale: 0.25, Seed: 1, Workloads: []string{"mm"}}
+	req := RunInfo{ID: "r1", Exps: []string{"fig21"}, GPUs: 8, Scale: 0.25, Seed: 1, Workloads: []string{"mm"}}
+
+	err := journal.Verify(req)
+	if err == nil {
+		t.Fatal("differing params accepted")
+	}
+	if !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("err = %v, not errors.Is ErrParamsMismatch", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"experiments: [fig21 fig23] -> [fig21]",
+		"gpus: 4 -> 8",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	// Unchanged fields must NOT be listed.
+	for _, notWant := range []string{"scale:", "seed:", "workloads:"} {
+		if strings.Contains(msg, notWant) {
+			t.Errorf("message %q names unchanged field %q", msg, notWant)
+		}
+	}
+}
+
+func TestVerifyWrongRunID(t *testing.T) {
+	a := RunInfo{ID: "r1"}
+	err := a.Verify(RunInfo{ID: "r2"})
+	if err == nil {
+		t.Fatal("wrong run ID accepted")
+	}
+	if errors.Is(err, ErrParamsMismatch) {
+		t.Fatal("wrong-ID error should not be a params mismatch")
+	}
+}

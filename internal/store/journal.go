@@ -6,9 +6,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"strings"
 	"sync"
 )
 
@@ -57,15 +60,55 @@ func (r RunInfo) ParamsDigest() string {
 	return d
 }
 
-// Verify reports whether other describes the same campaign.
+// ErrParamsMismatch is wrapped by Verify when a resume presents different
+// campaign parameters than the journal records; match it with errors.Is.
+var ErrParamsMismatch = errors.New("run parameters mismatch")
+
+// Verify reports whether other describes the same campaign. A parameter
+// mismatch satisfies errors.Is(err, ErrParamsMismatch) and names each
+// differing field with the journaled and requested values, so the
+// operator can see exactly what changed.
 func (r RunInfo) Verify(other RunInfo) error {
 	if r.ID != other.ID {
 		return fmt.Errorf("store: journal is for run %q, not %q", r.ID, other.ID)
 	}
-	if r.ParamsDigest() != other.ParamsDigest() {
-		return fmt.Errorf("store: run %q was started with different parameters (experiments/gpus/scale/seed/workloads); start a new run instead of resuming", r.ID)
+	if r.ParamsDigest() == other.ParamsDigest() {
+		return nil
 	}
-	return nil
+	diffs := r.diff(other)
+	if len(diffs) == 0 {
+		// The digests disagree but no named field does (e.g. a future
+		// field this version cannot decode); still refuse, just less
+		// specifically.
+		diffs = []string{"undecodable field difference"}
+	}
+	return fmt.Errorf("store: run %q: %w: %s; start a new run instead of resuming",
+		r.ID, ErrParamsMismatch, strings.Join(diffs, ", "))
+}
+
+// diff lists the campaign parameters on which r (the journal) and other
+// (the resume request) disagree, formatted "field: journal -> requested".
+func (r RunInfo) diff(other RunInfo) []string {
+	var diffs []string
+	add := func(field string, journal, requested any) {
+		diffs = append(diffs, fmt.Sprintf("%s: %v -> %v", field, journal, requested))
+	}
+	if !slices.Equal(r.Exps, other.Exps) {
+		add("experiments", r.Exps, other.Exps)
+	}
+	if r.GPUs != other.GPUs {
+		add("gpus", r.GPUs, other.GPUs)
+	}
+	if r.Scale != other.Scale {
+		add("scale", r.Scale, other.Scale)
+	}
+	if r.Seed != other.Seed {
+		add("seed", r.Seed, other.Seed)
+	}
+	if !slices.Equal(r.Workloads, other.Workloads) {
+		add("workloads", r.Workloads, other.Workloads)
+	}
+	return diffs
 }
 
 // Record is one journal line. Cell records carry the cell's key digest

@@ -264,11 +264,34 @@ func (e *Engine) Stats() Stats {
 // machine, run it. The engine calls it through a panic guard, so a crash
 // in any layer of the simulator becomes the cell's error.
 func Simulate(c Cell) (*machine.Result, error) {
+	return SimulateContext(context.Background(), c)
+}
+
+// SimulateContext is Simulate with cancellation: a cancelled ctx aborts
+// the simulation within a bounded number of events and returns ctx's
+// error. Campaign workers use it so a lost coordinator or a shutdown
+// signal stops an in-flight cell instead of orphaning it.
+func SimulateContext(ctx context.Context, c Cell) (*machine.Result, error) {
 	sys, err := machine.New(c.Cfg, workload.Traces(c.Spec, c.Cfg.NumGPUs, c.Cfg.Scale, c.Cfg.Seed), c.Opt)
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
+}
+
+// SetSimulator replaces the engine's cell executor (nil restores the
+// default in-process Simulate). The campaign coordinator substitutes a
+// delegating executor that enqueues the cell on its lease queue and waits
+// for a worker to publish the result; the engine's caching, coalescing,
+// store rehydration, and journaling all apply unchanged around it. The
+// executor runs under the engine's panic guard.
+func (e *Engine) SetSimulator(sim func(Cell) (*machine.Result, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sim == nil {
+		sim = Simulate
+	}
+	e.simulate = sim
 }
 
 // Run executes one sweep and returns the results in cell order. Identical

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -129,14 +130,20 @@ func Registry() []Spec {
 	return specs
 }
 
-// ByAbbr looks a workload up by its Table IV abbreviation.
+// ErrUnknownWorkload is wrapped by ByAbbr when an abbreviation is not in
+// the registry; match it with errors.Is.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
+// ByAbbr looks a workload up by its Table IV abbreviation. An
+// unregistered abbreviation yields an error satisfying
+// errors.Is(err, ErrUnknownWorkload).
 func ByAbbr(abbr string) (Spec, error) {
 	for _, s := range Registry() {
 		if s.Abbr == abbr {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("workload: unknown abbreviation %q", abbr)
+	return Spec{}, fmt.Errorf("workload: %w: unknown abbreviation %q", ErrUnknownWorkload, abbr)
 }
 
 // Abbrs returns all abbreviations in registry order.

@@ -24,7 +24,25 @@
 //	cfg.Scale = 0.1
 //
 //	spec, _ := secmgpu.WorkloadByAbbr("mm")
-//	res, err := secmgpu.Run(cfg, spec, secmgpu.RunOptions{})
+//	res, err := secmgpu.RunContext(ctx, cfg, spec, secmgpu.RunOptions{})
+//
+// # Serving campaigns
+//
+// Beyond one-shot library runs, campaigns (sets of experiments) can be
+// served by a long-running coordinator and executed by worker processes
+// that lease cells and publish results into a shared content-addressed
+// store:
+//
+//	go secmgpu.Serve(ctx, ":8123", secmgpu.ServeOptions{StoreDir: "results/store"})
+//
+//	client := secmgpu.NewClient("http://127.0.0.1:8123")
+//	st, _ := client.Submit(ctx, secmgpu.CampaignSpec{
+//		Experiments: []string{"fig21"}, Scale: 0.25,
+//	})
+//	st, _ = client.Wait(ctx, st.ID, time.Second, nil)
+//	tables, _ := client.Tables(ctx, st.ID)
+//
+// Workers are separate processes: `secbench -worker -coordinator=URL`.
 //
 // See the examples/ directory for complete programs and cmd/secbench for
 // regenerating every table and figure.
@@ -33,11 +51,15 @@ package secmgpu
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"time"
 
+	"secmgpu/internal/campaign"
 	"secmgpu/internal/config"
 	"secmgpu/internal/experiments"
 	"secmgpu/internal/machine"
 	"secmgpu/internal/otp"
+	"secmgpu/internal/store"
 	"secmgpu/internal/workload"
 )
 
@@ -102,9 +124,12 @@ func Workloads() []WorkloadSpec { return workload.Registry() }
 // ("mm", "syr2k", ...).
 func WorkloadByAbbr(abbr string) (WorkloadSpec, error) { return workload.ByAbbr(abbr) }
 
-// Run simulates one workload on one system configuration and returns the
-// result. The run is deterministic in (cfg, spec, opt).
-func Run(cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
+// RunContext simulates one workload on one system configuration and
+// returns the result. The run is deterministic in (cfg, spec, opt);
+// cancelling ctx aborts the simulation within a bounded number of events
+// and returns ctx's error, without perturbing the event order of
+// uncancelled runs.
+func RunContext(ctx context.Context, cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,24 +137,42 @@ func Run(cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
-// Slowdown runs spec under both cfg and its unsecure baseline and returns
-// the normalized execution time (1.0 = no overhead), the metric of the
-// paper's Figures 8, 9, 21, 24, 25 and 26.
-func Slowdown(cfg Config, spec WorkloadSpec, opt RunOptions) (float64, error) {
+// Run simulates one workload without cancellation support.
+//
+// Deprecated: use RunContext. Run is a thin wrapper retained for
+// compatibility.
+func Run(cfg Config, spec WorkloadSpec, opt RunOptions) (*Result, error) {
+	return RunContext(context.Background(), cfg, spec, opt)
+}
+
+// SlowdownContext runs spec under both cfg and its unsecure baseline and
+// returns the normalized execution time (1.0 = no overhead), the metric
+// of the paper's Figures 8, 9, 21, 24, 25 and 26. Cancelling ctx stops
+// whichever of the two simulations is in flight.
+func SlowdownContext(ctx context.Context, cfg Config, spec WorkloadSpec, opt RunOptions) (float64, error) {
 	base := cfg
 	base.Secure = false
-	ub, err := Run(base, spec, opt)
+	ub, err := RunContext(ctx, base, spec, opt)
 	if err != nil {
 		return 0, fmt.Errorf("baseline: %w", err)
 	}
-	sec, err := Run(cfg, spec, opt)
+	sec, err := RunContext(ctx, cfg, spec, opt)
 	if err != nil {
 		return 0, err
 	}
 	return float64(sec.Cycles) / float64(ub.Cycles), nil
+}
+
+// Slowdown computes the normalized execution time without cancellation
+// support.
+//
+// Deprecated: use SlowdownContext. Slowdown is a thin wrapper retained
+// for compatibility.
+func Slowdown(cfg Config, spec WorkloadSpec, opt RunOptions) (float64, error) {
+	return SlowdownContext(context.Background(), cfg, spec, opt)
 }
 
 // ExperimentParams sizes a table/figure reproduction.
@@ -145,7 +188,10 @@ type ExperimentTable = experiments.Table
 func Experiments() []string { return experiments.Names() }
 
 // RunExperiment reproduces one table or figure by name without
-// cancellation support; see RunExperimentContext.
+// cancellation support.
+//
+// Deprecated: use RunExperimentContext. RunExperiment is a thin wrapper
+// retained for compatibility.
 func RunExperiment(name string, p ExperimentParams) (*ExperimentTable, error) {
 	return RunExperimentContext(context.Background(), name, p)
 }
@@ -154,11 +200,12 @@ func RunExperiment(name string, p ExperimentParams) (*ExperimentTable, error) {
 // ctx stops the underlying sweep between simulations and returns ctx's
 // error. Identical (workload, config, options) cells are simulated once
 // per process and served from the sweep engine's cache afterwards; supply
-// p.Engine to isolate or observe a run.
+// p.Engine to isolate or observe a run. An unregistered name yields an
+// error satisfying errors.Is(err, ErrUnknownExperiment).
 func RunExperimentContext(ctx context.Context, name string, p ExperimentParams) (*ExperimentTable, error) {
-	runner, ok := experiments.Registry()[name]
-	if !ok {
-		return nil, fmt.Errorf("secmgpu: unknown experiment %q (known: %v)", name, experiments.Names())
+	runner, err := experiments.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return runner(ctx, p)
 }
@@ -167,4 +214,86 @@ func RunExperimentContext(ctx context.Context, name string, p ExperimentParams) 
 // scale (1.0 reproduces the full evaluation size).
 func DefaultExperimentParams(scale float64) ExperimentParams {
 	return experiments.DefaultParams(scale)
+}
+
+// Sentinel errors of the public surface; match with errors.Is. They are
+// returned (wrapped, with context) by experiment lookup, workload lookup,
+// campaign submission, and journal resume verification.
+var (
+	// ErrUnknownExperiment: a name not in the experiment registry.
+	ErrUnknownExperiment = experiments.ErrUnknownExperiment
+	// ErrUnknownWorkload: an abbreviation not in the workload registry.
+	ErrUnknownWorkload = workload.ErrUnknownWorkload
+	// ErrParamsMismatch: a resume presented different campaign
+	// parameters than the journal records.
+	ErrParamsMismatch = store.ErrParamsMismatch
+)
+
+// CampaignSpec is the options struct describing one campaign — the
+// submission surface shared by the library, the CLI, and the
+// coordinator.
+type CampaignSpec = campaign.Spec
+
+// CampaignStatus is a campaign's externally visible state.
+type CampaignStatus = campaign.Status
+
+// CampaignTable is one finished experiment table (rendered text + CSV).
+type CampaignTable = campaign.TableResult
+
+// Client is the typed HTTP client for a campaign coordinator's v1 API.
+type Client = campaign.Client
+
+// NewClient returns a Client for the coordinator at baseURL (e.g.
+// "http://127.0.0.1:8123") using a default HTTP client.
+func NewClient(baseURL string) *Client { return campaign.NewClient(baseURL, nil) }
+
+// ServeOptions configures Serve.
+type ServeOptions struct {
+	// StoreDir is the shared content-addressed result store directory
+	// ("" disables durability; workers then deliver results only over
+	// the publish call).
+	StoreDir string
+	// LeaseTTL bounds how long a worker may hold a cell without
+	// renewing (default 30s).
+	LeaseTTL time.Duration
+	// Logf receives operational log lines (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// Serve runs a campaign coordinator on addr until ctx is cancelled: the
+// versioned HTTP+JSON API accepts campaign submissions (POST
+// /v1/campaigns), serves status and finished tables, and hands sweep
+// cells to polling workers under time-bounded leases. Workers are
+// separate processes (secbench -worker -coordinator=URL) sharing the
+// store directory, or remote ones publishing over the API.
+func Serve(ctx context.Context, addr string, opts ServeOptions) error {
+	var st *store.Store
+	if opts.StoreDir != "" {
+		var err error
+		st, err = store.Open(opts.StoreDir, store.Options{SimDigest: store.BinaryDigest()})
+		if err != nil {
+			return err
+		}
+	}
+	return campaign.Serve(ctx, addr, campaign.Options{
+		Store:    st,
+		LeaseTTL: opts.LeaseTTL,
+		Logf:     opts.Logf,
+	})
+}
+
+// CoordinatorHandler returns the coordinator API as an http.Handler for
+// embedding into an existing server; Close the returned coordinator when
+// done. Most callers want Serve instead.
+func CoordinatorHandler(opts ServeOptions) (http.Handler, func(), error) {
+	var st *store.Store
+	if opts.StoreDir != "" {
+		var err error
+		st, err = store.Open(opts.StoreDir, store.Options{SimDigest: store.BinaryDigest()})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	c := campaign.NewCoordinator(campaign.Options{Store: st, LeaseTTL: opts.LeaseTTL, Logf: opts.Logf})
+	return c.Handler(), c.Close, nil
 }

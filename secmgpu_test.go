@@ -180,3 +180,51 @@ func TestRunExperimentContextCancellation(t *testing.T) {
 		t.Errorf("cancelled experiment simulated %d cells", st.Simulated)
 	}
 }
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := RunExperimentContext(context.Background(), "fig99", ExperimentParams{}); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown experiment: err = %v, want errors.Is ErrUnknownExperiment", err)
+	}
+	if _, err := WorkloadByAbbr("nope"); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("unknown workload: err = %v, want errors.Is ErrUnknownWorkload", err)
+	}
+	// The sentinels are distinct.
+	if errors.Is(ErrUnknownExperiment, ErrUnknownWorkload) || errors.Is(ErrUnknownWorkload, ErrParamsMismatch) {
+		t.Error("sentinel errors are not distinct")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	spec, err := WorkloadByAbbr("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(cancelled, smallConfig(4), spec, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if _, err := SlowdownContext(cancelled, smallConfig(4), spec, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SlowdownContext err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	spec, err := WorkloadByAbbr("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(2)
+	cfg.Secure = true
+	plain, err := Run(cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunContext(context.Background(), cfg, spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != ctxed.Cycles || plain.Ops != ctxed.Ops {
+		t.Fatalf("Run and RunContext disagree: cycles %d vs %d", plain.Cycles, ctxed.Cycles)
+	}
+}
