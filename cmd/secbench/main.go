@@ -33,10 +33,19 @@
 //	secbench -exp all -scale 1.0 -csv
 //	secbench -exp all -store results/store -run-id nightly -out results/tables
 //	secbench -exp all -store results/store -resume nightly -out results/tables
-//	secbench -serve :8123 -store results/store
-//	secbench -worker -coordinator http://coord:8123 -store results/store
-//	secbench -submit -coordinator http://coord:8123 -exp fig21 -out tables
+//	secbench -serve :8123 -store results/store -auth-token $TOKEN
+//	secbench -serve :8123 -store results/store -tls-cert cert.pem -tls-key key.pem
+//	secbench -worker -coordinator http://coord:8123 -store results/store -auth-token $TOKEN
+//	secbench -submit -coordinator http://coord:8123 -exp fig21 -out tables -auth-token $TOKEN
 //	secbench -list
+//
+// The coordinator itself is crash-tolerant when -store is set: campaign
+// submissions and lifecycle transitions are journaled to
+// <store>/coordinator.jsonl, and a restarted coordinator replays the
+// journal, re-submits campaigns that were running, and rehydrates their
+// persisted cells — workers reconnect and the campaign converges to the
+// same bytes. SECBENCH_FAULTS (or -faults) injects seeded RPC faults
+// into -worker/-submit traffic for chaos testing.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -114,6 +124,10 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a leased cell without renewing before it requeues (-serve)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts when the queue is empty (-worker) and between status polls (-submit)")
 	workerName := flag.String("worker-name", "", "worker identity in lease records (default hostname-pid)")
+	authToken := flag.String("auth-token", os.Getenv("SECBENCH_AUTH_TOKEN"), "shared bearer token: required by -serve on every endpoint except /v1/healthz, sent by -worker and -submit (default $SECBENCH_AUTH_TOKEN)")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file for -serve (with -tls-key, the coordinator terminates TLS)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file for -serve")
+	faults := flag.String("faults", os.Getenv("SECBENCH_FAULTS"), "seeded RPC fault injection for -worker and -submit traffic, e.g. \"seed=7,refuse=0.05,timeout=0.02,err=0.05,torn=0.03,dup=0.05\" (default $SECBENCH_FAULTS; chaos testing only)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProfile, *memProfile)
@@ -134,14 +148,14 @@ func main() {
 
 	switch {
 	case *serveAddr != "":
-		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *quiet)
+		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *authToken, *tlsCert, *tlsKey, *quiet)
 		return
 	case *workerMode:
-		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *quiet)
+		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *authToken, *faults, *quiet)
 		return
 	case *submitMode:
 		spec := campaignSpec(*exp, *workloads, *gpus, *scale, *seed, *par, *retries, *cellTimeout)
-		runSubmit(ctx, *coordinator, spec, *outDir, *csv, *poll, *quiet)
+		runSubmit(ctx, *coordinator, spec, *outDir, *csv, *poll, *authToken, *faults, *quiet)
 		return
 	}
 
@@ -348,14 +362,18 @@ func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, pa
 }
 
 // runServe hosts a campaign coordinator until interrupted.
-func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, quiet bool) {
+func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, authToken, tlsCert, tlsKey string, quiet bool) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
 	}
 	if quiet {
 		logf = nil
 	} else {
-		logf("serving campaigns on %s (store %q, lease TTL %s)", addr, storeDir, leaseTTL)
+		logf("serving campaigns on %s (store %q, lease TTL %s, auth %v, tls %v)",
+			addr, storeDir, leaseTTL, authToken != "", tlsCert != "")
+	}
+	if (tlsCert == "") != (tlsKey == "") {
+		fatal(errors.New("-tls-cert and -tls-key must be set together"))
 	}
 	var st *store.Store
 	if storeDir != "" {
@@ -365,14 +383,39 @@ func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration
 			fatal(err)
 		}
 	}
-	err := campaign.Serve(ctx, addr, campaign.Options{Store: st, LeaseTTL: leaseTTL, Logf: logf})
+	err := campaign.Serve(ctx, addr, campaign.Options{
+		Store: st, LeaseTTL: leaseTTL, Logf: logf,
+		AuthToken: authToken, TLSCertFile: tlsCert, TLSKeyFile: tlsKey,
+	})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
 	}
 }
 
+// newCampaignClient builds the coordinator client shared by -worker and
+// -submit: bearer token attached, and — for chaos testing — the seeded
+// fault-injecting transport wrapped around the real one.
+func newCampaignClient(coordinator, authToken, faults string, logf func(string, ...any)) *campaign.Client {
+	httpClient := &http.Client{Timeout: 60 * time.Second}
+	if faults != "" {
+		spec, err := campaign.ParseFaultSpec(faults)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Enabled() {
+			httpClient.Transport = campaign.NewFaultTransport(spec, nil)
+			if logf != nil {
+				logf("fault injection enabled: %s", faults)
+			}
+		}
+	}
+	cl := campaign.NewClient(coordinator, httpClient)
+	cl.SetToken(authToken)
+	return cl
+}
+
 // runWorker leases and executes cells until interrupted.
-func runWorker(ctx context.Context, coordinator, storeDir, name string, poll time.Duration, quiet bool) {
+func runWorker(ctx context.Context, coordinator, storeDir, name string, poll time.Duration, authToken, faults string, quiet bool) {
 	if coordinator == "" {
 		fatal(errors.New("-worker requires -coordinator URL"))
 	}
@@ -390,23 +433,29 @@ func runWorker(ctx context.Context, coordinator, storeDir, name string, poll tim
 			fatal(err)
 		}
 	}
-	w := campaign.NewWorker(campaign.NewClient(coordinator, nil), campaign.WorkerOptions{
+	w := campaign.NewWorker(newCampaignClient(coordinator, authToken, faults, logf), campaign.WorkerOptions{
 		Name: name, Store: st, Poll: poll, Logf: logf,
 	})
 	w.Run(ctx)
 	ws := w.Stats()
-	fmt.Fprintf(os.Stderr, "secbench: worker %s done: %d leased, %d completed, %d failed, %d renewals lost\n",
-		w.Name(), ws.Leased, ws.Completed, ws.Failed, ws.RenewLost)
+	fmt.Fprintf(os.Stderr, "secbench: worker %s done: %d leased, %d completed, %d failed, %d renewals lost, %d lease errors\n",
+		w.Name(), ws.Leased, ws.Completed, ws.Failed, ws.RenewLost, ws.LeaseErrors)
 }
 
 // runSubmit sends a campaign to the coordinator, waits for it to finish,
 // prints the tables, and writes them under the same stable filenames a
 // single-process run uses.
-func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outDir string, csv bool, poll time.Duration, quiet bool) {
+func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outDir string, csv bool, poll time.Duration, authToken, faults string, quiet bool) {
 	if coordinator == "" {
 		fatal(errors.New("-submit requires -coordinator URL"))
 	}
-	client := campaign.NewClient(coordinator, nil)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	client := newCampaignClient(coordinator, authToken, faults, logf)
 	st, err := client.Submit(ctx, spec)
 	if err != nil {
 		fatal(err)

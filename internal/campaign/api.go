@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 
@@ -14,7 +15,9 @@ import (
 )
 
 // The versioned HTTP+JSON surface. Campaign endpoints serve clients;
-// lease endpoints serve workers.
+// lease endpoints serve workers. With Options.AuthToken set, every
+// endpoint except the liveness probe requires "Authorization: Bearer
+// <token>" (compared in constant time) and answers 401 otherwise.
 //
 //	POST   /v1/campaigns              submit a Spec            -> 201 Status
 //	GET    /v1/campaigns              list                     -> 200 []Status
@@ -24,8 +27,12 @@ import (
 //	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204
 //	POST   /v1/lease/{id}/renew       heartbeat                -> 204 | 410
 //	POST   /v1/lease/{id}/complete    publish a result         -> 204 (idempotent)
-//	POST   /v1/lease/{id}/fail        report a failed attempt  -> 204
-//	GET    /v1/healthz                liveness + queue stats   -> 200
+//	POST   /v1/lease/{id}/fail        report a failed attempt  -> 204 (idempotent)
+//	GET    /v1/healthz                liveness + metrics       -> 200 Health (no auth)
+//
+// POST /v1/campaigns honours an Idempotency-Key header: re-submitting
+// the same key returns the original campaign instead of starting a
+// duplicate, which makes submission retry-safe.
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
 
@@ -83,16 +90,41 @@ type tablesResponse struct {
 	Tables []TableResult `json:"tables"`
 }
 
-// healthResponse is the liveness payload.
-type healthResponse struct {
-	OK        bool       `json:"ok"`
-	Campaigns int        `json:"campaigns"`
-	Pending   int        `json:"pending"`
-	Leased    int        `json:"leased"`
-	Queue     QueueStats `json:"queue"`
+// CampaignProgress is one campaign's progress counters on the health
+// surface.
+type CampaignProgress struct {
+	ID               string       `json:"id"`
+	State            State        `json:"state"`
+	ExperimentsDone  int          `json:"experiments_done"`
+	ExperimentsTotal int          `json:"experiments_total"`
+	Cells            CellProgress `json:"cells"`
 }
 
-// Handler returns the coordinator's versioned HTTP API.
+// Health is the /v1/healthz payload: liveness plus the queue and
+// campaign metrics a worker autoscaler needs — pending depth says
+// whether to add workers, active leases say how many are busy, expiry
+// counts say whether workers are dying, and Recovered evidences a
+// journal replay after a coordinator restart.
+type Health struct {
+	OK bool `json:"ok"`
+	// Campaigns counts known campaigns (running and terminal).
+	Campaigns int `json:"campaigns"`
+	// Pending and Leased are the queue depth and active lease count.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	// Expired counts leases that timed out and requeued their task.
+	Expired int `json:"expired"`
+	// Recovered counts running campaigns re-submitted from the control
+	// journal when this coordinator started.
+	Recovered int `json:"recovered"`
+	// Queue is the full activity counter set.
+	Queue QueueStats `json:"queue"`
+	// Progress lists per-campaign progress, newest first.
+	Progress []CampaignProgress `json:"progress,omitempty"`
+}
+
+// Handler returns the coordinator's versioned HTTP API, wrapped with
+// bearer-token authentication when the coordinator has an AuthToken.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", c.handleSubmit)
@@ -105,7 +137,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/lease/{id}/complete", c.handleComplete)
 	mux.HandleFunc("POST /v1/lease/{id}/fail", c.handleFail)
 	mux.HandleFunc("GET /v1/healthz", c.handleHealth)
-	return mux
+	return requireAuth(c.token, mux)
 }
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -113,7 +145,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &spec) {
 		return
 	}
-	st, err := c.Submit(spec)
+	st, err := c.SubmitKeyed(spec, r.Header.Get(idemHeader))
 	if err != nil {
 		// Submit errors only on spec validation (unknown experiment or
 		// workload, bad sizing) — all client mistakes.
@@ -214,11 +246,25 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	pending, leased := c.queue.Depth()
-	c.mu.Lock()
-	n := len(c.campaigns)
-	c.mu.Unlock()
-	writeJSON(w, http.StatusOK, healthResponse{
-		OK: true, Campaigns: n, Pending: pending, Leased: leased, Queue: c.queue.Stats(),
+	statuses := c.Campaigns()
+	progress := make([]CampaignProgress, 0, len(statuses))
+	for _, st := range statuses {
+		progress = append(progress, CampaignProgress{
+			ID: st.ID, State: st.State,
+			ExperimentsDone: st.ExperimentsDone, ExperimentsTotal: st.ExperimentsTotal,
+			Cells: st.Cells,
+		})
+	}
+	qs := c.queue.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		OK:        true,
+		Campaigns: len(statuses),
+		Pending:   pending,
+		Leased:    leased,
+		Expired:   qs.Expired,
+		Recovered: c.Recovered(),
+		Queue:     qs,
+		Progress:  progress,
 	})
 }
 
@@ -246,15 +292,30 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// Serve runs the coordinator's API on an already-bound listener-less
-// address until ctx is cancelled. It is the library entry point behind
-// secmgpu.Serve and secbench -serve.
+// Serve runs the coordinator's API on addr (or Options.Listener when
+// set) until ctx is cancelled, terminating TLS when Options carries a
+// certificate pair. It is the library entry point behind secmgpu.Serve
+// and secbench -serve.
 func Serve(ctx context.Context, addr string, opts Options) error {
 	c := NewCoordinator(opts)
 	defer c.Close()
 	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() {
+		if opts.TLSCertFile != "" && opts.TLSKeyFile != "" {
+			errCh <- srv.ServeTLS(ln, opts.TLSCertFile, opts.TLSKeyFile)
+		} else {
+			errCh <- srv.Serve(ln)
+		}
+	}()
 	select {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// tokenEqual compares two shared tokens in constant time. Both sides are
+// hashed first so the comparison's duration is independent of where the
+// strings differ and of their lengths — a plain ConstantTimeCompare
+// short-circuits on length and would leak it.
+func tokenEqual(a, b string) bool {
+	ha := sha256.Sum256([]byte(a))
+	hb := sha256.Sum256([]byte(b))
+	return subtle.ConstantTimeCompare(ha[:], hb[:]) == 1
+}
+
+// requireAuth wraps next with shared-token bearer authentication. The
+// liveness endpoint stays open — monitors and load balancers probe it
+// before they hold credentials, and it exposes no campaign data a rogue
+// peer could poison. With an empty token the wrapper is a no-op.
+func requireAuth(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := bearerToken(r)
+		if !ok || !tokenEqual(got, token) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="campaign"`)
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("campaign: missing or invalid bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bearerToken extracts the token of an "Authorization: Bearer ..."
+// header.
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return h[len(prefix):], true
+}

@@ -3,9 +3,13 @@ package campaign
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -13,12 +17,55 @@ import (
 	"secmgpu/internal/machine"
 )
 
+// RetryPolicy bounds the client's retry-with-jittered-backoff loop for
+// idempotent requests. Attempt n waits in [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹],
+// capped at Cap — the jitter decorrelates a fleet of workers hammering
+// a coordinator that just came back.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 6).
+	Attempts int
+	// Base is the first backoff (default 100ms).
+	Base time.Duration
+	// Cap bounds each backoff (default 3s).
+	Cap time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 6
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 3 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered wait before retry attempt i (0-based).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.Base << i
+	if d <= 0 || d > p.Cap {
+		d = p.Cap
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
 // Client is the typed HTTP client for a coordinator's v1 API, used by
 // campaign submitters (secbench -submit, library callers via
-// secmgpu.NewClient) and by workers.
+// secmgpu.NewClient) and by workers. Idempotent requests — everything
+// except the submission itself, which instead carries a client-minted
+// idempotency key the coordinator dedupes on — are retried with
+// jittered exponential backoff on transport errors, torn responses, and
+// 5xx answers, so a coordinator restart or a flaky network is a delay,
+// not a failure.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	token string
+	retry RetryPolicy
 }
 
 // NewClient returns a client for the coordinator at baseURL (e.g.
@@ -28,8 +75,20 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 60 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  httpClient,
+		retry: RetryPolicy{}.withDefaults(),
+	}
 }
+
+// SetToken attaches a shared bearer token to every request (matching
+// the coordinator's AuthToken).
+func (cl *Client) SetToken(token string) { cl.token = token }
+
+// SetRetry replaces the retry policy for idempotent requests; zero
+// fields select defaults.
+func (cl *Client) SetRetry(p RetryPolicy) { cl.retry = p.withDefaults() }
 
 // APIError is a non-2xx coordinator response.
 type APIError struct {
@@ -41,23 +100,71 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("campaign: coordinator returned %d: %s", e.Status, e.Message)
 }
 
-// do issues one request. in nil sends no body; out nil discards the
-// response. A 204 yields ok=false with no error (used by Lease).
-func (cl *Client) do(ctx context.Context, method, path string, in, out any) (ok bool, err error) {
-	var body io.Reader
+// transient reports whether err is worth retrying (for an idempotent
+// request): transport-level failures, torn responses, and 5xx-class
+// answers qualify; 4xx answers are the caller's mistake and final.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests ||
+			apiErr.Status == http.StatusRequestTimeout
+	}
+	return true
+}
+
+// do issues one request, retrying per the client policy when idempotent.
+// in nil sends no body; out nil discards the response. A 204 yields
+// ok=false with no error (used by Lease). extraHeader adds one header to
+// every attempt ("" skips it).
+func (cl *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool, headerK, headerV string) (ok bool, err error) {
+	var body []byte
 	if in != nil {
-		b, err := json.Marshal(in)
+		body, err = json.Marshal(in)
 		if err != nil {
 			return false, fmt.Errorf("campaign: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, cl.base+path, body)
+	attempts := 1
+	if idempotent {
+		attempts = cl.retry.Attempts
+	}
+	for i := 0; ; i++ {
+		ok, err = cl.attempt(ctx, method, path, body, in != nil, out, headerK, headerV)
+		if err == nil {
+			return ok, nil
+		}
+		if ctx.Err() != nil || i >= attempts-1 || !transient(err) {
+			return false, err
+		}
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-time.After(cl.retry.backoff(i)):
+		}
+	}
+}
+
+// attempt issues exactly one HTTP round trip.
+func (cl *Client) attempt(ctx context.Context, method, path string, body []byte, hasBody bool, out any, headerK, headerV string) (ok bool, err error) {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+path, rd)
 	if err != nil {
 		return false, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if cl.token != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.token)
+	}
+	if headerK != "" {
+		req.Header.Set(headerK, headerV)
 	}
 	resp, err := cl.http.Do(req)
 	if err != nil {
@@ -67,18 +174,23 @@ func (cl *Client) do(ctx context.Context, method, path string, in, out any) (ok 
 	if resp.StatusCode == http.StatusNoContent {
 		return false, nil
 	}
+	// Read the whole body before judging it: a torn response surfaces
+	// here as a read error and stays retryable.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var envelope struct {
 			Error string `json:"error"`
 		}
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if json.Unmarshal(data, &envelope) != nil || envelope.Error == "" {
 			envelope.Error = strings.TrimSpace(string(data))
 		}
 		return false, &APIError{Status: resp.StatusCode, Message: envelope.Error}
 	}
+	if err != nil {
+		return false, fmt.Errorf("campaign: read response: %w", err)
+	}
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if err := json.Unmarshal(data, out); err != nil {
 			return false, fmt.Errorf("campaign: decode response: %w", err)
 		}
 	}
@@ -86,72 +198,113 @@ func (cl *Client) do(ctx context.Context, method, path string, in, out any) (ok 
 }
 
 // Submit submits a campaign and returns its initial status (carrying the
-// assigned ID).
+// assigned ID). The request carries a random idempotency key, so the
+// retries that make it safe over a faulty network can never start a
+// duplicate campaign: a retried request that already landed returns the
+// original campaign's status.
 func (cl *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
 	var st Status
-	_, err := cl.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st)
+	_, err := cl.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st, true, idemHeader, newIdemKey())
 	return st, err
+}
+
+// idemHeader carries the submission idempotency key.
+const idemHeader = "Idempotency-Key"
+
+// newIdemKey mints a random submission key.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Fall back to the non-crypto source; the key only needs
+		// uniqueness, not unpredictability.
+		return fmt.Sprintf("k%x", rand.Int63())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Campaign fetches one campaign's status.
 func (cl *Client) Campaign(ctx context.Context, id string) (Status, error) {
 	var st Status
-	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st)
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st, true, "", "")
 	return st, err
 }
 
 // Campaigns lists campaign statuses, newest first.
 func (cl *Client) Campaigns(ctx context.Context) ([]Status, error) {
 	var out []Status
-	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out, true, "", "")
 	return out, err
 }
 
-// Cancel cancels a campaign and returns its status.
+// Cancel cancels a campaign and returns its status. Cancelling is
+// idempotent server-side, so it retries like a read.
 func (cl *Client) Cancel(ctx context.Context, id string) (Status, error) {
 	var st Status
-	_, err := cl.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil, &st)
+	_, err := cl.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil, &st, true, "", "")
 	return st, err
 }
 
 // Tables fetches a campaign's finished tables.
 func (cl *Client) Tables(ctx context.Context, id string) ([]TableResult, error) {
 	var resp tablesResponse
-	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/tables", nil, &resp)
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/tables", nil, &resp, true, "", "")
 	return resp.Tables, err
 }
 
 // Wait polls the campaign until it reaches a terminal state (or ctx is
-// cancelled), invoking progress (if non-nil) after every poll.
+// cancelled), invoking progress (if non-nil) after every poll. Transient
+// errors — including a full coordinator restart, which the per-request
+// retries alone may not outlast — keep the poll loop alive; only a 4xx
+// answer (the campaign is unknown or the token is wrong) or ctx
+// expiring ends it early.
 func (cl *Client) Wait(ctx context.Context, id string, poll time.Duration, progress func(Status)) (Status, error) {
 	if poll <= 0 {
 		poll = time.Second
 	}
+	var last Status
 	for {
 		st, err := cl.Campaign(ctx, id)
-		if err != nil {
-			return st, err
-		}
-		if progress != nil {
-			progress(st)
-		}
-		if st.State.Terminal() {
-			return st, nil
+		switch {
+		case err == nil:
+			last = st
+			if progress != nil {
+				progress(st)
+			}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		case !transient(err) || ctx.Err() != nil:
+			return last, err
 		}
 		select {
 		case <-ctx.Done():
-			return st, ctx.Err()
+			return last, ctx.Err()
 		case <-time.After(poll):
 		}
 	}
 }
 
+// Health probes the coordinator's liveness endpoint and returns its
+// queue and campaign metrics (the worker-autoscaling surface).
+func (cl *Client) Health(ctx context.Context) (Health, error) {
+	var resp Health
+	if _, err := cl.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp, true, "", ""); err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("campaign: coordinator reports unhealthy")
+	}
+	return resp, nil
+}
+
 // ---- Worker side ----
 
 // Lease asks for one cell of work. ok=false means the queue is empty.
+// Retrying a lease request is safe: a grant whose response was lost is
+// reclaimed by lease expiry.
 func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error) {
 	var wg wireGrant
-	ok, err := cl.do(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &wg)
+	ok, err := cl.do(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &wg, true, "", "")
 	if err != nil || !ok {
 		return Grant{}, false, err
 	}
@@ -177,34 +330,25 @@ func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error)
 // status 410; the worker may keep running (its publish stays valid) but
 // should expect the cell to be re-leased elsewhere.
 func (cl *Client) Renew(ctx context.Context, leaseID string) error {
-	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/renew", struct{}{}, nil)
+	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/renew", struct{}{}, nil, true, "", "")
 	return err
 }
 
-// Complete publishes a finished cell's result. The call is idempotent:
-// publishing an already-completed digest — even under an expired lease —
-// is accepted and discarded.
+// Complete publishes a finished cell's result. The call is idempotent —
+// publishing an already-completed digest, under an expired lease, or
+// twice because a duplicated request, is accepted and discarded — which
+// is what makes retrying it safe.
 func (cl *Client) Complete(ctx context.Context, leaseID, digest, label string, res *machine.Result) error {
 	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/complete",
-		completeRequest{Digest: digest, Label: label, Result: res}, nil)
+		completeRequest{Digest: digest, Label: label, Result: res}, nil, true, "", "")
 	return err
 }
 
-// Fail reports a failed execution attempt.
+// Fail reports a failed execution attempt. Idempotent: a duplicate
+// report under the same (now dropped) lease is ignored server-side, so
+// one failure burns at most one attempt.
 func (cl *Client) Fail(ctx context.Context, leaseID, digest, msg string) error {
 	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/fail",
-		failRequest{Digest: digest, Error: msg}, nil)
+		failRequest{Digest: digest, Error: msg}, nil, true, "", "")
 	return err
-}
-
-// Health probes the coordinator's liveness endpoint.
-func (cl *Client) Health(ctx context.Context) error {
-	var resp healthResponse
-	if _, err := cl.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
-		return err
-	}
-	if !resp.OK {
-		return fmt.Errorf("campaign: coordinator reports unhealthy")
-	}
-	return nil
 }

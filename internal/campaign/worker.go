@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"time"
@@ -26,6 +27,11 @@ type WorkerOptions struct {
 	// Poll is the idle wait between lease attempts when the queue is
 	// empty (default 500ms).
 	Poll time.Duration
+	// MaxBackoff caps the jittered exponential backoff the worker
+	// applies when lease attempts error — a coordinator restart or
+	// network partition (default 5s, never below Poll). The backoff
+	// resets on the first successful exchange.
+	MaxBackoff time.Duration
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -36,11 +42,12 @@ type WorkerOptions struct {
 // re-leased; if it stalls and publishes late, the digest-keyed store
 // makes the publish a no-op.
 type Worker struct {
-	client *Client
-	name   string
-	poll   time.Duration
-	logf   func(string, ...any)
-	engine *sweep.Engine
+	client     *Client
+	name       string
+	poll       time.Duration
+	maxBackoff time.Duration
+	logf       func(string, ...any)
+	engine     *sweep.Engine
 
 	mu    sync.Mutex
 	stats WorkerStats
@@ -56,6 +63,10 @@ type WorkerStats struct {
 	// RenewLost counts heartbeats that found the lease already expired
 	// or superseded (the worker kept going; its publish stayed valid).
 	RenewLost int
+	// LeaseErrors counts lease attempts that failed even after the
+	// client's own retries — the coordinator was down long enough that
+	// the worker fell back to its outer backoff loop.
+	LeaseErrors int
 }
 
 // NewWorker returns a worker for the given coordinator client.
@@ -72,13 +83,20 @@ func NewWorker(client *Client, opts WorkerOptions) *Worker {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	if maxBackoff < poll {
+		maxBackoff = poll
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	engine := sweep.New(1)
 	engine.SetStore(opts.Store)
-	return &Worker{client: client, name: name, poll: poll, logf: logf, engine: engine}
+	return &Worker{client: client, name: name, poll: poll, maxBackoff: maxBackoff, logf: logf, engine: engine}
 }
 
 // Name returns the worker's lease identity.
@@ -92,10 +110,14 @@ func (w *Worker) Stats() WorkerStats {
 }
 
 // Run leases and executes cells until ctx is cancelled. Transient
-// coordinator errors (it restarted, the network blipped) are retried
-// after the poll interval; Run returns only ctx.Err().
+// coordinator errors (it restarted, the network is partitioned) back
+// off with jittered exponential delays up to MaxBackoff, resetting on
+// the first successful exchange — the worker rides out a full
+// coordinator restart and re-leases without intervention. Run returns
+// only ctx.Err().
 func (w *Worker) Run(ctx context.Context) error {
 	w.logf("worker %s: polling for work", w.name)
+	backoff := w.poll
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -105,19 +127,47 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			w.logf("worker %s: lease: %v", w.name, err)
-			ok = false
-		}
-		if !ok {
-			select {
-			case <-ctx.Done():
+			w.mu.Lock()
+			w.stats.LeaseErrors++
+			w.mu.Unlock()
+			w.logf("worker %s: lease: %v (backing off %s)", w.name, err, backoff)
+			if !w.sleep(ctx, jitter(backoff)) {
 				return ctx.Err()
-			case <-time.After(w.poll):
+			}
+			backoff = min(backoff*2, w.maxBackoff)
+			continue
+		}
+		// Any answer from the coordinator — a grant or an empty queue —
+		// resets the backoff.
+		backoff = w.poll
+		if !ok {
+			if !w.sleep(ctx, w.poll) {
+				return ctx.Err()
 			}
 			continue
 		}
 		w.runCell(ctx, grant)
 	}
+}
+
+// sleep waits d or until ctx is done, reporting whether to continue.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// jitter spreads a backoff uniformly over [d/2, d] so a worker fleet
+// does not stampede a coordinator that just came back.
+func jitter(d time.Duration) time.Duration {
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
 }
 
 // runCell executes one granted cell under a heartbeat and publishes the

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// LogRecord is one line of a control Log: a record type, an opaque JSON
+// payload, and a truncated self-checksum so a bit-flipped line is
+// detected on replay instead of trusted — the same discipline as the
+// per-run cell Journal, generalized to arbitrary payloads.
+type LogRecord struct {
+	T string          `json:"t"`
+	D json.RawMessage `json:"d,omitempty"`
+	C string          `json:"c,omitempty"`
+}
+
+// checksum returns the record's self-checksum: SHA-256 over its JSON
+// encoding with C cleared, truncated for line economy.
+func (r LogRecord) checksum() string {
+	r.C = ""
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Log is a generic append-only JSONL write-ahead log for control state
+// (the campaign coordinator's submit/cancel/terminal journal). Every
+// append is fsynced, so every record before a SIGKILL survives and at
+// most the final record is torn — which ReplayLog tolerates. Unlike the
+// per-run Journal, a Log is opened create-or-append: it accretes across
+// process restarts of the same service. A nil *Log is a valid no-op
+// sink, so callers journal unconditionally.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error
+}
+
+// OpenLog opens (creating if needed) the control log at path for
+// appending. If the file already ends in a torn record from a crash, a
+// newline isolates it so this process's records start on a fresh line
+// (ReplayLog counts the torn one corrupt, nothing else is damaged).
+func OpenLog(path string) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Path returns the log's file path ("" for a nil log).
+func (l *Log) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Append encodes v as the payload of one typ record, checksums it, and
+// writes it with an fsync. Errors are sticky (also from Err); journaling
+// failures must never fail the service itself, so callers may ignore
+// them and surface Err once.
+func (l *Log) Append(typ string, v any) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	rec := LogRecord{T: typ}
+	if v != nil {
+		d, err := json.Marshal(v)
+		if err != nil {
+			l.err = err
+			return err
+		}
+		rec.D = d
+	}
+	rec.C = rec.checksum()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := l.f.Write(b); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first append failure, if any.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// ReplayLog reads a control log, invoking fn for every verified record
+// in order. It tolerates a torn or bit-flipped record anywhere in the
+// file (counted in corrupt, skipped) and never panics on arbitrary
+// bytes. A missing file is an empty log, not an error — the natural
+// first boot of a durable service.
+func ReplayLog(path string, fn func(typ string, data json.RawMessage)) (records, corrupt int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			corrupt++
+			continue
+		}
+		if rec.checksum() != rec.C {
+			corrupt++
+			continue
+		}
+		records++
+		fn(rec.T, rec.D)
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long garbage line is corruption, not a replay error.
+		corrupt++
+	}
+	return records, corrupt, nil
+}

@@ -89,6 +89,12 @@ func (s *Store) JournalPath(runID string) string {
 	return filepath.Join(s.dir, "runs", runID+".jsonl")
 }
 
+// ControlLogPath returns the canonical path of the campaign
+// coordinator's control journal under this store root.
+func (s *Store) ControlLogPath() string {
+	return filepath.Join(s.dir, "coordinator.jsonl")
+}
+
 // objectPath shards entries by the digest's first two hex chars so no
 // single directory grows unboundedly.
 func (s *Store) objectPath(keyDigest string) string {

@@ -251,11 +251,22 @@ func NewClient(baseURL string) *Client { return campaign.NewClient(baseURL, nil)
 type ServeOptions struct {
 	// StoreDir is the shared content-addressed result store directory
 	// ("" disables durability; workers then deliver results only over
-	// the publish call).
+	// the publish call). With a store, the coordinator also journals
+	// campaign lifecycles to <StoreDir>/coordinator.jsonl and a
+	// restarted coordinator re-submits campaigns that were running.
 	StoreDir string
 	// LeaseTTL bounds how long a worker may hold a cell without
 	// renewing (default 30s).
 	LeaseTTL time.Duration
+	// AuthToken, when non-empty, requires every API request except
+	// GET /v1/healthz to carry "Authorization: Bearer <AuthToken>"
+	// (compared in constant time); clients attach it with
+	// Client.SetToken.
+	AuthToken string
+	// TLSCertFile / TLSKeyFile, when both set, make Serve terminate
+	// TLS.
+	TLSCertFile string
+	TLSKeyFile  string
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -276,9 +287,12 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) error {
 		}
 	}
 	return campaign.Serve(ctx, addr, campaign.Options{
-		Store:    st,
-		LeaseTTL: opts.LeaseTTL,
-		Logf:     opts.Logf,
+		Store:       st,
+		LeaseTTL:    opts.LeaseTTL,
+		AuthToken:   opts.AuthToken,
+		TLSCertFile: opts.TLSCertFile,
+		TLSKeyFile:  opts.TLSKeyFile,
+		Logf:        opts.Logf,
 	})
 }
 
@@ -294,6 +308,14 @@ func CoordinatorHandler(opts ServeOptions) (http.Handler, func(), error) {
 			return nil, nil, err
 		}
 	}
-	c := campaign.NewCoordinator(campaign.Options{Store: st, LeaseTTL: opts.LeaseTTL, Logf: opts.Logf})
+	c := campaign.NewCoordinator(campaign.Options{
+		Store: st, LeaseTTL: opts.LeaseTTL, AuthToken: opts.AuthToken, Logf: opts.Logf,
+	})
 	return c.Handler(), c.Close, nil
 }
+
+// CampaignHealth is the coordinator's /v1/healthz payload: liveness
+// plus queue depth, active leases, lease expirations, and per-campaign
+// progress — the metrics a worker autoscaler consumes via
+// Client.Health.
+type CampaignHealth = campaign.Health
