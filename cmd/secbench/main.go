@@ -37,6 +37,8 @@
 //	secbench -serve :8123 -store results/store -tls-cert cert.pem -tls-key key.pem
 //	secbench -worker -coordinator http://coord:8123 -store results/store -auth-token $TOKEN
 //	secbench -submit -coordinator http://coord:8123 -exp fig21 -out tables -auth-token $TOKEN
+//	secbench -serve :8123 -store results/store -verify-fraction 0.1 -scrub-interval 10m
+//	secbench -fsck -store results/store
 //	secbench -list
 //
 // The coordinator itself is crash-tolerant when -store is set: campaign
@@ -46,6 +48,16 @@
 // persisted cells — workers reconnect and the campaign converges to the
 // same bytes. SECBENCH_FAULTS (or -faults) injects seeded RPC faults
 // into -worker/-submit traffic for chaos testing.
+//
+// Workers are not trusted blindly: every publish attests the canonical
+// digest of its payload under a per-lease fencing token, -verify-fraction
+// sends a deterministic sample of cells to an independent quorum
+// (-verify-quorum) of workers and quarantines whoever diverges, and
+// -scrub-interval makes the coordinator periodically re-verify every
+// object at rest. `secbench -fsck -store DIR` runs that same scrub once,
+// offline, and exits non-zero if corruption was found. SECBENCH_BYZANTINE
+// (or -byzantine) turns a worker actively malicious — corrupt payloads,
+// lying attestations, zombie publishes — for chaos-testing the defenses.
 package main
 
 import (
@@ -128,6 +140,11 @@ func main() {
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file for -serve (with -tls-key, the coordinator terminates TLS)")
 	tlsKey := flag.String("tls-key", "", "TLS private key file for -serve")
 	faults := flag.String("faults", os.Getenv("SECBENCH_FAULTS"), "seeded RPC fault injection for -worker and -submit traffic, e.g. \"seed=7,refuse=0.05,timeout=0.02,err=0.05,torn=0.03,dup=0.05\" (default $SECBENCH_FAULTS; chaos testing only)")
+	verifyFraction := flag.Float64("verify-fraction", 0, "fraction of cells the coordinator re-executes on an independent worker quorum to catch Byzantine results (-serve; 0 disables, 1 verifies everything)")
+	verifyQuorum := flag.Int("verify-quorum", 2, "independent executions a verified cell needs before its result is admitted (-serve; minimum 2)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "how often the coordinator re-verifies every stored object at rest and heals corruption (-serve; 0 disables)")
+	byzantine := flag.String("byzantine", os.Getenv("SECBENCH_BYZANTINE"), "seeded worker misbehavior, e.g. \"seed=3,corrupt=0.5,lie=0.2,zombie=0.1\" (-worker; default $SECBENCH_BYZANTINE; chaos testing only)")
+	fsck := flag.Bool("fsck", false, "verify every object in -store once (the coordinator's scrub pass, offline), quarantine corruption, and exit non-zero if any was found")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProfile, *memProfile)
@@ -147,11 +164,15 @@ func main() {
 	defer stop()
 
 	switch {
+	case *fsck:
+		runFsck(*storeDir)
+		return
 	case *serveAddr != "":
-		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *authToken, *tlsCert, *tlsKey, *quiet)
+		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *authToken, *tlsCert, *tlsKey,
+			*verifyFraction, *verifyQuorum, *scrubInterval, *quiet)
 		return
 	case *workerMode:
-		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *authToken, *faults, *quiet)
+		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *authToken, *faults, *byzantine, *quiet)
 		return
 	case *submitMode:
 		spec := campaignSpec(*exp, *workloads, *gpus, *scale, *seed, *par, *retries, *cellTimeout)
@@ -361,16 +382,44 @@ func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, pa
 	return spec
 }
 
+// runFsck opens the store, runs one scrub pass over every object, prints
+// the report, and exits non-zero when corruption was quarantined — the
+// offline twin of the coordinator's -scrub-interval loop.
+func runFsck(storeDir string) {
+	if storeDir == "" {
+		fatal(errors.New("-fsck requires -store"))
+	}
+	st, err := store.Open(storeDir, store.Options{SimDigest: store.BinaryDigest()})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := st.Scrub()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fsck %s: %d objects scanned, %d healthy, %d stale (other simulator binary, left in place), %d quarantined\n",
+		storeDir, rep.Scanned, rep.Healthy, rep.Stale, rep.Quarantined)
+	for _, bad := range rep.Bad {
+		fmt.Printf("  quarantined %s: %s\n", bad.Digest, bad.Reason)
+	}
+	if rep.Quarantined > 0 {
+		fmt.Fprintln(os.Stderr, "secbench: fsck found corruption; quarantined objects re-simulate on next use")
+		stopProfiles()
+		os.Exit(1)
+	}
+}
+
 // runServe hosts a campaign coordinator until interrupted.
-func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, authToken, tlsCert, tlsKey string, quiet bool) {
+func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, authToken, tlsCert, tlsKey string, verifyFraction float64, verifyQuorum int, scrubInterval time.Duration, quiet bool) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
 	}
 	if quiet {
 		logf = nil
 	} else {
-		logf("serving campaigns on %s (store %q, lease TTL %s, auth %v, tls %v)",
-			addr, storeDir, leaseTTL, authToken != "", tlsCert != "")
+		logf("serving campaigns on %s (store %q, lease TTL %s, auth %v, tls %v, verify %.2f×%d, scrub %s)",
+			addr, storeDir, leaseTTL, authToken != "", tlsCert != "",
+			verifyFraction, verifyQuorum, scrubInterval)
 	}
 	if (tlsCert == "") != (tlsKey == "") {
 		fatal(errors.New("-tls-cert and -tls-key must be set together"))
@@ -386,6 +435,8 @@ func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration
 	err := campaign.Serve(ctx, addr, campaign.Options{
 		Store: st, LeaseTTL: leaseTTL, Logf: logf,
 		AuthToken: authToken, TLSCertFile: tlsCert, TLSKeyFile: tlsKey,
+		VerifyFraction: verifyFraction, VerifyQuorum: verifyQuorum,
+		ScrubInterval: scrubInterval,
 	})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
@@ -414,8 +465,10 @@ func newCampaignClient(coordinator, authToken, faults string, logf func(string, 
 	return cl
 }
 
-// runWorker leases and executes cells until interrupted.
-func runWorker(ctx context.Context, coordinator, storeDir, name string, poll time.Duration, authToken, faults string, quiet bool) {
+// runWorker leases and executes cells until interrupted. A quarantined
+// worker exits non-zero instead of retrying: the coordinator has stopped
+// trusting this identity, so polling on would only burn its CPU.
+func runWorker(ctx context.Context, coordinator, storeDir, name string, poll time.Duration, authToken, faults, byzantine string, quiet bool) {
 	if coordinator == "" {
 		fatal(errors.New("-worker requires -coordinator URL"))
 	}
@@ -424,6 +477,17 @@ func runWorker(ctx context.Context, coordinator, storeDir, name string, poll tim
 	}
 	if quiet {
 		logf = nil
+	}
+	var byzSpec campaign.ByzantineSpec
+	if byzantine != "" {
+		var err error
+		byzSpec, err = campaign.ParseByzantineSpec(byzantine)
+		if err != nil {
+			fatal(err)
+		}
+		if byzSpec.Enabled() && logf != nil {
+			logf("BYZANTINE worker: misbehaving per %q (chaos testing only)", byzantine)
+		}
 	}
 	var st *store.Store
 	if storeDir != "" {
@@ -434,12 +498,21 @@ func runWorker(ctx context.Context, coordinator, storeDir, name string, poll tim
 		}
 	}
 	w := campaign.NewWorker(newCampaignClient(coordinator, authToken, faults, logf), campaign.WorkerOptions{
-		Name: name, Store: st, Poll: poll, Logf: logf,
+		Name: name, Store: st, Poll: poll, Byzantine: byzSpec, Logf: logf,
 	})
-	w.Run(ctx)
+	err := w.Run(ctx)
 	ws := w.Stats()
-	fmt.Fprintf(os.Stderr, "secbench: worker %s done: %d leased, %d completed, %d failed, %d renewals lost, %d lease errors\n",
-		w.Name(), ws.Leased, ws.Completed, ws.Failed, ws.RenewLost, ws.LeaseErrors)
+	fmt.Fprintf(os.Stderr, "secbench: worker %s done: %d leased, %d completed, %d failed, %d rejected, %d renewals lost, %d lease errors\n",
+		w.Name(), ws.Leased, ws.Completed, ws.Failed, ws.Rejected, ws.RenewLost, ws.LeaseErrors)
+	if bs := w.ByzantineStats(); bs.Cells > 0 {
+		fmt.Fprintf(os.Stderr, "secbench: byzantine stats: %d cells drawn, %d corrupted, %d lied, %d zombies\n",
+			bs.Cells, bs.Corrupted, bs.Lied, bs.Zombies)
+	}
+	if errors.Is(err, campaign.ErrWorkerQuarantined) {
+		fmt.Fprintln(os.Stderr, "secbench: worker quarantined by the coordinator; not retrying")
+		stopProfiles()
+		os.Exit(3)
+	}
 }
 
 // runSubmit sends a campaign to the coordinator, waits for it to finish,

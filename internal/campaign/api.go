@@ -24,9 +24,9 @@ import (
 //	GET    /v1/campaigns/{id}         status                   -> 200 Status
 //	DELETE /v1/campaigns/{id}         cancel                   -> 200 Status
 //	GET    /v1/campaigns/{id}/tables  finished tables          -> 200 tablesResponse
-//	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204
+//	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204 | 403 (quarantined)
 //	POST   /v1/lease/{id}/renew       heartbeat                -> 204 | 410
-//	POST   /v1/lease/{id}/complete    publish a result         -> 204 (idempotent)
+//	POST   /v1/lease/{id}/complete    publish a result         -> 204 (admitted/vote/duplicate) | 409 (rejected)
 //	POST   /v1/lease/{id}/fail        report a failed attempt  -> 204 (idempotent)
 //	GET    /v1/healthz                liveness + metrics       -> 200 Health (no auth)
 //
@@ -58,8 +58,10 @@ func (w wireCell) toCell() (sweep.Cell, error) {
 // wireGrant is a lease grant on the wire.
 type wireGrant struct {
 	Lease             string   `json:"lease"`
+	Fence             string   `json:"fence"`
 	Digest            string   `json:"digest"`
 	Cell              wireCell `json:"cell"`
+	Verify            bool     `json:"verify,omitempty"`
 	TTLMillis         int64    `json:"ttl_ms"`
 	CellTimeoutMillis int64    `json:"cell_timeout_ms,omitempty"`
 	Attempt           int      `json:"attempt"`
@@ -70,11 +72,15 @@ type leaseRequest struct {
 	Worker string `json:"worker"`
 }
 
-// completeRequest publishes a cell's result.
+// completeRequest publishes a cell's result. Fence is the grant's
+// fencing token; ResultDigest is the worker's attestation of the
+// canonical payload digest.
 type completeRequest struct {
-	Digest string          `json:"digest"`
-	Label  string          `json:"label,omitempty"`
-	Result *machine.Result `json:"result"`
+	Digest       string          `json:"digest"`
+	Fence        string          `json:"fence,omitempty"`
+	Label        string          `json:"label,omitempty"`
+	ResultDigest string          `json:"result_digest,omitempty"`
+	Result       *machine.Result `json:"result"`
 }
 
 // failRequest reports a failed attempt.
@@ -117,8 +123,15 @@ type Health struct {
 	// Recovered counts running campaigns re-submitted from the control
 	// journal when this coordinator started.
 	Recovered int `json:"recovered"`
+	// Quarantined counts workers currently in reputation quarantine.
+	Quarantined int `json:"quarantined"`
 	// Queue is the full activity counter set.
 	Queue QueueStats `json:"queue"`
+	// Workers lists per-worker reputation (lease/complete counts,
+	// divergence and zombie strikes, quarantine state).
+	Workers []WorkerHealth `json:"workers,omitempty"`
+	// Scrub summarizes store-scrubber and self-healing activity.
+	Scrub ScrubHealth `json:"scrub"`
 	// Progress lists per-campaign progress, newest first.
 	Progress []CampaignProgress `json:"progress,omitempty"`
 }
@@ -196,18 +209,26 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.Worker == "" {
 		req.Worker = r.RemoteAddr
 	}
-	g, ok := c.queue.Lease(req.Worker)
+	g, ok, err := c.queue.Lease(req.Worker)
+	if err != nil {
+		// A quarantined worker gets a hard 403: its answers are no
+		// longer trusted, so it should stop burning leases.
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	writeJSON(w, http.StatusOK, wireGrant{
 		Lease:  g.Lease,
+		Fence:  g.Fence,
 		Digest: g.Digest,
 		Cell: wireCell{
 			Abbr: g.Cell.Spec.Abbr, Label: g.Cell.Label,
 			Cfg: g.Cell.Cfg, Opt: g.Cell.Opt,
 		},
+		Verify:            g.Verify,
 		TTLMillis:         g.TTL.Milliseconds(),
 		CellTimeoutMillis: g.CellTimeout.Milliseconds(),
 		Attempt:           g.Attempt,
@@ -231,7 +252,11 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: complete needs digest and result"))
 		return
 	}
-	c.Complete(r.PathValue("id"), req.Digest, req.Label, req.Result)
+	out := c.Complete(r.PathValue("id"), req.Fence, req.Digest, req.Label, req.ResultDigest, req.Result)
+	if out.Verdict.Rejected() {
+		writeError(w, http.StatusConflict, fmt.Errorf("campaign: publish rejected (%s): %s", out.Verdict, out.Reason))
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -256,15 +281,25 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	qs := c.queue.Stats()
+	workers := c.queue.Workers()
+	quarantined := 0
+	for _, wk := range workers {
+		if wk.Quarantined {
+			quarantined++
+		}
+	}
 	writeJSON(w, http.StatusOK, Health{
-		OK:        true,
-		Campaigns: len(statuses),
-		Pending:   pending,
-		Leased:    leased,
-		Expired:   qs.Expired,
-		Recovered: c.Recovered(),
-		Queue:     qs,
-		Progress:  progress,
+		OK:          true,
+		Campaigns:   len(statuses),
+		Pending:     pending,
+		Leased:      leased,
+		Expired:     qs.Expired,
+		Recovered:   c.Recovered(),
+		Quarantined: quarantined,
+		Queue:       qs,
+		Workers:     workers,
+		Scrub:       c.ScrubStats(),
+		Progress:    progress,
 	})
 }
 

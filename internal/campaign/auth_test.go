@@ -60,7 +60,7 @@ func TestAuthRejectsUnauthenticatedRequests(t *testing.T) {
 	if _, _, err := anon.Lease(ctx, "anon"); !is401(err) {
 		t.Fatalf("unauthenticated lease: err = %v, want 401", err)
 	}
-	if err := anon.Complete(ctx, "l000001", "deadbeef", "", nil); !is401(err) {
+	if err := anon.Complete(ctx, "l000001", "", "deadbeef", "", "", nil); !is401(err) {
 		t.Fatalf("unauthenticated complete: err = %v, want 401", err)
 	}
 	if _, err := anon.Campaigns(ctx); !is401(err) {

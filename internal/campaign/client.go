@@ -301,12 +301,21 @@ func (cl *Client) Health(ctx context.Context) (Health, error) {
 
 // Lease asks for one cell of work. ok=false means the queue is empty.
 // Retrying a lease request is safe: a grant whose response was lost is
-// reclaimed by lease expiry.
+// reclaimed by lease expiry. A 403 — the coordinator quarantined this
+// worker — is surfaced as ErrWorkerQuarantined (errors.Is-able) and
+// should be treated as terminal.
 func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error) {
 	var wg wireGrant
 	ok, err := cl.do(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &wg, true, "", "")
-	if err != nil || !ok {
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusForbidden {
+			return Grant{}, false, fmt.Errorf("%w: %s", ErrWorkerQuarantined, apiErr.Message)
+		}
 		return Grant{}, false, err
+	}
+	if !ok {
+		return Grant{}, false, nil
 	}
 	cell, err := wg.Cell.toCell()
 	if err != nil {
@@ -318,8 +327,10 @@ func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error)
 	}
 	return Grant{
 		Lease:       wg.Lease,
+		Fence:       wg.Fence,
 		Digest:      wg.Digest,
 		Cell:        cell,
+		Verify:      wg.Verify,
 		TTL:         time.Duration(wg.TTLMillis) * time.Millisecond,
 		CellTimeout: time.Duration(wg.CellTimeoutMillis) * time.Millisecond,
 		Attempt:     wg.Attempt,
@@ -334,13 +345,15 @@ func (cl *Client) Renew(ctx context.Context, leaseID string) error {
 	return err
 }
 
-// Complete publishes a finished cell's result. The call is idempotent —
-// publishing an already-completed digest, under an expired lease, or
-// twice because a duplicated request, is accepted and discarded — which
-// is what makes retrying it safe.
-func (cl *Client) Complete(ctx context.Context, leaseID, digest, label string, res *machine.Result) error {
+// Complete publishes a finished cell's result, carrying the grant's
+// fencing token and the worker's attested canonical result digest.
+// Retrying is safe: re-publishing the admitted answer is accepted as a
+// benign duplicate. A 409 means the coordinator rejected the publish
+// (zombie lease, fence or attestation mismatch, or divergence from the
+// admitted value) — final, not retried.
+func (cl *Client) Complete(ctx context.Context, leaseID, fence, digest, label, resultDigest string, res *machine.Result) error {
 	_, err := cl.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/complete",
-		completeRequest{Digest: digest, Label: label, Result: res}, nil, true, "", "")
+		completeRequest{Digest: digest, Fence: fence, Label: label, ResultDigest: resultDigest, Result: res}, nil, true, "", "")
 	return err
 }
 

@@ -105,6 +105,27 @@ type Options struct {
 	Listener net.Listener
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
+
+	// VerifyFraction in [0,1] selects that fraction of cells (by digest,
+	// deterministically) for quorum verification: each is executed by
+	// VerifyQuorum independent workers and only an agreeing majority is
+	// admitted. 0 disables the lottery; cells with divergence evidence
+	// are always verified.
+	VerifyFraction float64
+	// VerifyQuorum is how many independent executions a verified cell
+	// needs (default and minimum 2).
+	VerifyQuorum int
+	// DivergenceLimit quarantines a worker after this many divergent or
+	// mis-attested results (default 3; negative disables).
+	DivergenceLimit int
+	// ZombieLimit quarantines a worker after this many zombie publishes
+	// (default 16; negative disables).
+	ZombieLimit int
+	// ScrubInterval runs the background store scrubber this often: every
+	// object is re-verified at rest, corruption is quarantined, and
+	// damaged cells still known to the queue are resubmitted for
+	// self-healing re-execution (0 disables; needs Store).
+	ScrubInterval time.Duration
 }
 
 // Coordinator owns the work queue and the set of campaigns. Construct
@@ -124,8 +145,31 @@ type Coordinator struct {
 	idem      map[string]string // idempotency key -> campaign ID
 	seq       int
 
+	scrubMu sync.Mutex
+	scrub   ScrubHealth
+
+	// bg cancels background re-executions (arbitration, re-verification)
+	// on Close.
+	bg       context.Context
+	bgCancel context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
+}
+
+// ScrubHealth summarizes the background scrubber's and the re-verifier's
+// work, surfaced on /v1/healthz.
+type ScrubHealth struct {
+	// Runs counts completed scrub passes; Scanned and Quarantined total
+	// their object traffic.
+	Runs        int `json:"runs"`
+	Scanned     int `json:"scanned"`
+	Quarantined int `json:"quarantined"`
+	// Healed counts damaged cells resubmitted to the queue for
+	// re-execution; Replaced counts store objects overwritten because a
+	// quorum admitted a different value than the one at rest.
+	Healed   int `json:"healed"`
+	Replaced int `json:"replaced"`
 }
 
 // Campaign is one submitted experiment set and its execution state. A
@@ -169,14 +213,40 @@ func NewCoordinator(opts Options) *Coordinator {
 		idem:      make(map[string]string),
 		stop:      make(chan struct{}),
 	}
+	c.bg, c.bgCancel = context.WithCancel(context.Background())
 	if c.logf == nil {
 		c.logf = func(string, ...any) {}
 	}
+	c.queue.ConfigureVerification(opts.VerifyFraction, opts.VerifyQuorum)
+	c.queue.ConfigureReputation(reputationLimit(opts.DivergenceLimit, 3), reputationLimit(opts.ZombieLimit, 16))
+	c.queue.OnQuarantine(func(worker, reason string) {
+		c.logf("campaign: worker %q QUARANTINED: %s", worker, reason)
+		if err := c.ctl.Append(ctlQuarantine, ctlQuarantineRec{
+			Worker: worker, Reason: reason, At: time.Now().UTC(),
+		}); err != nil {
+			c.logf("campaign: control journal append failed (quarantine will not survive a restart): %v", err)
+		}
+	})
 	if c.store != nil {
 		c.recover()
 	}
 	go c.expiryLoop()
+	if c.store != nil && opts.ScrubInterval > 0 {
+		go c.scrubLoop(opts.ScrubInterval)
+	}
 	return c
+}
+
+// reputationLimit maps an Options limit onto the queue's convention:
+// zero selects the default, negative disables (queue 0).
+func reputationLimit(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // recover replays the control journal and reopens it for appending.
@@ -230,6 +300,13 @@ func (c *Coordinator) recover() {
 		c.campaigns[id] = camp
 	}
 
+	// Quarantines are durable: a worker caught lying does not get a
+	// clean slate because the coordinator restarted.
+	for _, qr := range rep.quarantines {
+		c.queue.QuarantineWorker(qr.Worker, qr.Reason)
+		c.logf("campaign: worker %q quarantine restored from journal: %s", qr.Worker, qr.Reason)
+	}
+
 	// Campaigns that were running are re-submitted under their original
 	// IDs; the store rehydrates every persisted cell.
 	for _, sub := range rep.resubmit() {
@@ -254,6 +331,7 @@ func (c *Coordinator) Recovered() int { return c.recovered }
 // successor coordinator re-submits whatever was running.
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
+	c.bgCancel()
 	c.mu.Lock()
 	campaigns := make([]*Campaign, 0, len(c.campaigns))
 	for _, camp := range c.campaigns {
@@ -547,18 +625,153 @@ func (c *Coordinator) Tables(id string) ([]TableResult, bool) {
 	return out, true
 }
 
-// Complete publishes a worker's result: persist it into the shared store
-// first (idempotent — the digest keying makes re-publishing the same
-// cell a no-op), then resolve the queue task and wake its waiters.
-func (c *Coordinator) Complete(leaseID, digest, label string, res *machine.Result) {
-	if c.store != nil {
-		if _, ok := c.store.Get(digest); !ok {
-			if err := c.store.Put(digest, label, res); err != nil {
-				c.logf("campaign: persist %s: %v", digest, err)
+// ResultDigest returns the canonical content digest of a result payload —
+// the value workers attest with every publish and quorums compare. Two
+// honest executions of the same cell produce the same digest, because a
+// cell's result is a deterministic function of its content address.
+func ResultDigest(res *machine.Result) (string, error) {
+	return store.DigestJSON(res)
+}
+
+// Complete judges a worker's publish. The queue applies fencing,
+// attestation, and (for verified cells) quorum voting; only an admitted
+// result is persisted into the shared store. A tied quorum escalates to
+// local arbitration — the coordinator re-executes the cell itself as
+// ground truth — and divergence evidence against an already-admitted
+// value triggers quorum re-verification of the cell.
+func (c *Coordinator) Complete(leaseID, fence, digest, label, resultDigest string, res *machine.Result) CompleteResult {
+	canonical := ""
+	if res != nil {
+		var err error
+		if canonical, err = ResultDigest(res); err != nil {
+			c.logf("campaign: publish %s: result not canonicalizable: %v", short(digest), err)
+		}
+	}
+	out := c.queue.Complete(Publish{
+		Lease:        leaseID,
+		Fence:        fence,
+		Digest:       digest,
+		ResultDigest: resultDigest,
+		Canonical:    canonical,
+		Result:       res,
+	})
+	switch out.Verdict {
+	case VerdictAdmitted:
+		c.persist(digest, label, out.ResDigest, out.Res)
+	case VerdictNeedArbiter:
+		go c.arbitrate(digest, label, out.Cell)
+	case VerdictDivergent:
+		c.logf("campaign: worker %q published a divergent result for %s (%s); re-verifying under quorum",
+			out.Worker, short(digest), out.Cell.Label)
+		if _, ok := c.queue.Requeue(digest); ok {
+			c.addScrub(func(s *ScrubHealth) { s.Healed++ })
+		}
+	case VerdictZombie, VerdictFenceMismatch, VerdictDigestMismatch:
+		c.logf("campaign: publish for %s rejected (%s) from worker %q: %s",
+			short(digest), out.Verdict, out.Worker, out.Reason)
+	}
+	return out
+}
+
+// persist writes an admitted result into the shared store. If an object
+// for the digest already exists but holds a different value — a stale
+// admission a fresh quorum has now overruled, or a poisoned write from
+// inside the store's trust boundary — it is quarantined and replaced.
+func (c *Coordinator) persist(digest, label, resDigest string, res *machine.Result) {
+	if c.store == nil || res == nil {
+		return
+	}
+	if prev, ok := c.store.Get(digest); ok {
+		prevDigest, err := ResultDigest(prev)
+		if err == nil && prevDigest == resDigest {
+			return // already persisted, byte-equivalent
+		}
+		c.store.QuarantineObject(digest)
+		c.addScrub(func(s *ScrubHealth) { s.Replaced++ })
+		c.logf("campaign: store object %s disagreed with the admitted result; quarantined and replaced", short(digest))
+	}
+	if err := c.store.Put(digest, label, res); err != nil {
+		c.logf("campaign: persist %s: %v", short(digest), err)
+	}
+}
+
+// arbitrate resolves a tied verification quorum by re-executing the cell
+// locally: the coordinator trusts its own binary over any worker's word.
+// The fresh engine has no store and no cache, so the arbitration is a
+// genuinely independent execution.
+func (c *Coordinator) arbitrate(digest, label string, cell sweep.Cell) {
+	c.logf("campaign: quorum tied on %s (%s); arbitrating with a local re-execution", short(digest), cell.Label)
+	eng := sweep.New(1)
+	eng.SetSimulator(func(cl sweep.Cell) (*machine.Result, error) {
+		return sweep.SimulateContext(c.bg, cl)
+	})
+	results, err := eng.Run(c.bg, []sweep.Cell{cell}, 1)
+	if err != nil {
+		c.logf("campaign: arbitration of %s failed (%v); requeueing for a fresh quorum", short(digest), err)
+		c.queue.ArbiterFailed(digest)
+		return
+	}
+	resDigest, err := ResultDigest(results[0])
+	if err != nil {
+		c.logf("campaign: arbitration of %s produced a non-canonicalizable result: %v", short(digest), err)
+		c.queue.ArbiterFailed(digest)
+		return
+	}
+	if out, ok := c.queue.ResolveArbiter(digest, resDigest, results[0]); ok {
+		c.persist(digest, label, out.ResDigest, out.Res)
+		c.logf("campaign: arbitration admitted %s for %s", short(out.ResDigest), short(digest))
+	}
+}
+
+// scrubLoop periodically re-verifies every store object at rest:
+// corruption is quarantined, and damaged cells the queue still knows are
+// resubmitted for self-healing quorum re-execution.
+func (c *Coordinator) scrubLoop(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			rep, err := c.store.Scrub()
+			if err != nil {
+				c.logf("campaign: store scrub failed: %v", err)
+				continue
+			}
+			healed := 0
+			for _, bad := range rep.Bad {
+				c.logf("campaign: scrub quarantined %s: %s", short(bad.Digest), bad.Reason)
+				if _, ok := c.queue.Requeue(bad.Digest); ok {
+					healed++
+				}
+			}
+			c.addScrub(func(s *ScrubHealth) {
+				s.Runs++
+				s.Scanned += rep.Scanned
+				s.Quarantined += rep.Quarantined
+				s.Healed += healed
+			})
+			if rep.Quarantined > 0 {
+				c.logf("campaign: scrub pass: %d object(s) scanned, %d quarantined, %d resubmitted for healing",
+					rep.Scanned, rep.Quarantined, healed)
 			}
 		}
 	}
-	c.queue.Complete(leaseID, digest, res)
+}
+
+// addScrub mutates the scrub health counters under their lock.
+func (c *Coordinator) addScrub(fn func(*ScrubHealth)) {
+	c.scrubMu.Lock()
+	fn(&c.scrub)
+	c.scrubMu.Unlock()
+}
+
+// ScrubStats returns a snapshot of scrubber/re-verifier counters.
+func (c *Coordinator) ScrubStats() ScrubHealth {
+	c.scrubMu.Lock()
+	defer c.scrubMu.Unlock()
+	return c.scrub
 }
 
 func (c *Coordinator) campaign(id string) (*Campaign, bool) {

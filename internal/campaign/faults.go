@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"secmgpu/internal/machine"
 )
 
 // FaultSpec configures seeded RPC fault injection. Each probability is
@@ -273,4 +275,176 @@ func drainAndClose(body io.ReadCloser) {
 	}
 	io.Copy(io.Discard, body)
 	body.Close()
+}
+
+// ByzantineSpec configures a seeded Byzantine worker: instead of losing
+// messages (the FaultTransport's crash/omission model), it computes and
+// then publishes wrong answers. Each probability is evaluated once per
+// finished cell, in declared order; at most one behavior fires per cell.
+// It exists to chaos-test the attestation/quorum/fencing defenses
+// reproducibly — the defended coordinator must admit zero poisoned
+// results with one of these in the fleet.
+type ByzantineSpec struct {
+	// Seed makes the misbehavior sequence reproducible (0 selects 1).
+	Seed int64
+	// Corrupt is the probability the worker publishes a deterministically
+	// wrong result with a self-consistent attestation — the hardest case,
+	// detectable only by independent re-execution (quorum or arbiter).
+	Corrupt float64
+	// Lie is the probability the worker publishes the correct result but
+	// attests a wrong digest — caught immediately by the attestation
+	// check.
+	Lie float64
+	// Zombie is the probability the worker silences its heartbeat, waits
+	// for the lease to expire, and publishes anyway — caught by fencing.
+	Zombie float64
+}
+
+// Enabled reports whether any behavior has a non-zero probability.
+func (b ByzantineSpec) Enabled() bool {
+	return b.Corrupt > 0 || b.Lie > 0 || b.Zombie > 0
+}
+
+// ParseByzantineSpec parses a comma-separated spec such as
+// "seed=3,corrupt=0.6,lie=0.2,zombie=0.1". Unknown keys are rejected so
+// a typo disables nothing silently. An empty string is a valid all-zero
+// spec.
+func ParseByzantineSpec(s string) (ByzantineSpec, error) {
+	var spec ByzantineSpec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("campaign: byzantine spec term %q is not key=value", part)
+		}
+		if k == "seed" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("campaign: byzantine seed %q: %w", v, err)
+			}
+			spec.Seed = n
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			return spec, fmt.Errorf("campaign: byzantine probability %s=%q out of [0,1]", k, v)
+		}
+		switch k {
+		case "corrupt":
+			spec.Corrupt = p
+		case "lie":
+			spec.Lie = p
+		case "zombie":
+			spec.Zombie = p
+		default:
+			return spec, fmt.Errorf("campaign: unknown byzantine key %q", k)
+		}
+	}
+	return spec, nil
+}
+
+// ByzantineStats counts injected misbehaviors since construction.
+type ByzantineStats struct {
+	Cells     int
+	Corrupted int
+	Lied      int
+	Zombies   int
+}
+
+// Injected returns the total number of misbehaviors injected.
+func (s ByzantineStats) Injected() int { return s.Corrupted + s.Lied + s.Zombies }
+
+// byzKind is the per-cell misbehavior decision.
+type byzKind int
+
+const (
+	byzNone byzKind = iota
+	byzCorrupt
+	byzLie
+	byzZombie
+)
+
+// byzantine is the worker-side injector.
+type byzantine struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	spec  ByzantineSpec
+	stats ByzantineStats
+}
+
+// newByzantine returns an injector for spec (nil when disabled).
+func newByzantine(spec ByzantineSpec) *byzantine {
+	if !spec.Enabled() {
+		return nil
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &byzantine{rng: rand.New(rand.NewSource(seed)), spec: spec}
+}
+
+// draw picks at most one misbehavior for a finished cell, consuming
+// exactly one random number so the sequence is independent of which
+// behaviors are enabled.
+func (b *byzantine) draw() byzKind {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Cells++
+	p := b.rng.Float64()
+	for _, f := range []struct {
+		prob float64
+		kind byzKind
+	}{
+		{b.spec.Corrupt, byzCorrupt},
+		{b.spec.Lie, byzLie},
+		{b.spec.Zombie, byzZombie},
+	} {
+		if p < f.prob {
+			switch f.kind {
+			case byzCorrupt:
+				b.stats.Corrupted++
+			case byzLie:
+				b.stats.Lied++
+			case byzZombie:
+				b.stats.Zombies++
+			}
+			return f.kind
+		}
+		p -= f.prob
+	}
+	return byzNone
+}
+
+// Stats returns a snapshot of the injection counters.
+func (b *byzantine) Stats() ByzantineStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// corruptResult returns a copy of res with a deterministically wrong
+// cycle count — plausible data, confidently wrong, never mutating the
+// engine's cached original.
+func corruptResult(res *machine.Result) *machine.Result {
+	cp := *res
+	cp.Cycles = cp.Cycles*2 + 12345
+	return &cp
+}
+
+// lieDigest derives a well-formed but wrong attestation from the honest
+// one.
+func lieDigest(canonical string) string {
+	if canonical == "" {
+		return "00ff00ff00ff00ff"
+	}
+	b := []byte(canonical)
+	if b[0] == '0' {
+		b[0] = 'f'
+	} else {
+		b[0] = '0'
+	}
+	return string(b)
 }

@@ -22,19 +22,22 @@ import (
 //
 // Record types:
 //
-//	submit   {id, key?, spec, created}  campaign accepted
-//	cancel   {id, at}                   explicit cancellation requested
-//	terminal {id, state, error?, at}    campaign reached a final state
+//	submit     {id, key?, spec, created}  campaign accepted
+//	cancel     {id, at}                   explicit cancellation requested
+//	terminal   {id, state, error?, at}    campaign reached a final state
+//	quarantine {worker, reason, at}       worker reputation quarantine
 //
 // A graceful-or-violent coordinator shutdown writes no terminal record
 // for running campaigns: a shutdown is not an outcome, so replay
 // re-submits them. Only an explicit Cancel (journaled immediately, in
 // case the process dies before the campaign unwinds) and genuine
-// done/failed completions are final.
+// done/failed completions are final. Quarantines are final too: a worker
+// caught publishing wrong answers stays quarantined across restarts.
 const (
-	ctlSubmit   = "submit"
-	ctlCancel   = "cancel"
-	ctlTerminal = "terminal"
+	ctlSubmit     = "submit"
+	ctlCancel     = "cancel"
+	ctlTerminal   = "terminal"
+	ctlQuarantine = "quarantine"
 )
 
 // ctlSubmitRec journals an accepted campaign with its assigned ID and,
@@ -60,6 +63,13 @@ type ctlTerminalRec struct {
 	At    time.Time `json:"at"`
 }
 
+// ctlQuarantineRec journals a worker entering reputation quarantine.
+type ctlQuarantineRec struct {
+	Worker string    `json:"worker"`
+	Reason string    `json:"reason,omitempty"`
+	At     time.Time `json:"at"`
+}
+
 // ctlCampaign is one campaign's journaled history after replay.
 type ctlCampaign struct {
 	submit   ctlSubmitRec
@@ -73,6 +83,9 @@ type ctlReplay struct {
 	order []string
 	// byID maps campaign ID to its journaled history.
 	byID map[string]*ctlCampaign
+	// quarantines lists journaled worker quarantines in order (a worker
+	// may appear once per quarantine event; replay is idempotent).
+	quarantines []ctlQuarantineRec
 	// corrupt counts skipped torn/bit-flipped records.
 	corrupt int
 }
@@ -139,6 +152,12 @@ func replayControlLog(path string) (*ctlReplay, error) {
 			if c, ok := rep.byID[rec.ID]; ok {
 				c.terminal = &rec
 			}
+		case ctlQuarantine:
+			var rec ctlQuarantineRec
+			if json.Unmarshal(data, &rec) != nil || rec.Worker == "" {
+				return
+			}
+			rep.quarantines = append(rep.quarantines, rec)
 		}
 	})
 	if err != nil {

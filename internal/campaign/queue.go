@@ -7,14 +7,26 @@
 //
 // The store's digest keying is what makes the whole protocol safe under
 // failure: a simulation is deterministic in its cell digest, so a result
-// is valid no matter which worker produced it or how many times, a
-// crashed worker is just an expired lease waiting to be re-issued, and a
-// stalled worker publishing after its lease expired is a no-op rather
-// than corruption.
+// is valid no matter which worker produced it or how many times, and a
+// crashed worker is just an expired lease waiting to be re-issued.
+//
+// Determinism also powers the Byzantine layer: because a cell's correct
+// result is a pure function of its digest, two honest executions agree
+// byte-for-byte. Workers therefore attest a canonical result digest with
+// every publish, publishes are fenced to their lease (a token minted at
+// grant time, so a zombie publish from an expired lease is rejected
+// rather than silently accepted), a configurable fraction of cells is
+// executed by a quorum of independent workers whose digests must agree,
+// and workers whose answers diverge from the admitted value accumulate
+// reputation strikes until they are quarantined.
 package campaign
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,11 +49,22 @@ const (
 	taskPending taskState = iota
 	// taskLeased: held by a worker under a live lease.
 	taskLeased
+	// taskArbitrating: a verification quorum disagreed with no majority;
+	// the coordinator is re-executing the cell itself as the arbiter.
+	// Not leasable until ResolveArbiter or ArbiterFailed.
+	taskArbitrating
 	// taskDone: a verified result was published.
 	taskDone
 	// taskFailed: every granted attempt failed.
 	taskFailed
 )
+
+// vote is one worker's published answer for a verified cell.
+type vote struct {
+	worker string
+	digest string // canonical result digest
+	res    *machine.Result
+}
 
 // task is one unit of work: a sweep cell identified by its content
 // digest. Tasks are deduplicated by digest across campaigns, so two
@@ -60,6 +83,14 @@ type task struct {
 	// wall time; the most lenient enqueuer wins (0 = unbounded).
 	cellTimeout time.Duration
 
+	// verify marks the task for quorum verification: it needs `needed`
+	// agreeing independent executions instead of one. Set at enqueue by
+	// the verify fraction, by Requeue, or permanently once any publish
+	// for the cell ever diverged.
+	verify bool
+	needed int
+	votes  []vote
+
 	// lease is the live lease when state == taskLeased.
 	lease *lease
 
@@ -68,25 +99,50 @@ type task struct {
 	waiters map[int]chan<- Outcome
 
 	res *machine.Result
-	err error
+	// resDigest is the canonical digest of the admitted result; later
+	// publishes are judged benign duplicates or divergence against it.
+	resDigest string
+	err       error
 }
 
 // lease is one worker's time-bounded claim on a task.
 type lease struct {
 	id       string
+	fence    string
 	digest   string
 	worker   string
 	deadline time.Time
 }
 
+// tomb remembers a dead lease (completed, failed, or expired) so a
+// publish arriving under it can still be attributed to its worker and
+// judged: same answer as the admitted one → benign duplicate, anything
+// else → zombie or divergence strike.
+type tomb struct {
+	worker string
+	fence  string
+	digest string
+}
+
+// maxLeaseTombs bounds the tombstone ring; old entries fall off and
+// their publishes become unattributable zombies (still rejected).
+const maxLeaseTombs = 4096
+
 // Grant is what a worker receives from a successful lease call.
 type Grant struct {
 	// Lease is the opaque lease ID used for renew/complete/fail.
 	Lease string
+	// Fence is the lease's fencing token. A publish must present it;
+	// publishes without the live fence are rejected as zombies.
+	Fence string
 	// Digest is the cell's content address (also the store key).
 	Digest string
 	// Cell is the work itself.
 	Cell sweep.Cell
+	// Verify marks a quorum-verification execution: the worker must
+	// compute the cell fresh (no store rehydration, no cache) so its
+	// vote is an independent re-execution.
+	Verify bool
 	// TTL is the lease duration; the worker must renew within it.
 	TTL time.Duration
 	// CellTimeout bounds the cell's simulation wall time (0 = unbounded).
@@ -108,15 +164,162 @@ type QueueStats struct {
 	Expired int
 	// Completed counts first-time task completions.
 	Completed int
-	// LatePublishes counts publishes for a task that was already done —
-	// a stalled worker finishing after its lease expired and the cell
-	// was re-run. Harmless by construction (digest-keyed results).
+	// LatePublishes counts benign re-publishes of an already-admitted
+	// answer — a retried RPC or a slow worker agreeing with the winner.
+	// Harmless by construction (digest-keyed results).
 	LatePublishes int
 	// Failed counts tasks that exhausted their attempts.
 	Failed int
 	// Abandoned counts pending tasks pruned because no campaign waits
 	// on them anymore.
 	Abandoned int
+
+	// VerifiedCells counts tasks selected for quorum verification.
+	VerifiedCells int
+	// Votes counts verification executions recorded.
+	Votes int
+	// ZombiePublishes counts publishes rejected because their lease was
+	// expired, superseded, or never existed.
+	ZombiePublishes int
+	// FenceMismatches counts publishes naming a live lease but carrying
+	// the wrong fencing token or the wrong cell digest.
+	FenceMismatches int
+	// DigestMismatches counts publishes whose attested result digest did
+	// not match the payload they shipped.
+	DigestMismatches int
+	// DivergentVotes counts quorum votes rejected for disagreeing with
+	// the admitted value.
+	DivergentVotes int
+	// DivergentPublishes counts publishes for a done task whose payload
+	// differed from the admitted result — direct evidence of a wrong
+	// answer.
+	DivergentPublishes int
+	// Arbitrations counts quorums that disagreed without a majority and
+	// escalated to coordinator re-execution.
+	Arbitrations int
+	// Reverifies counts done tasks requeued for quorum re-execution
+	// (after divergence evidence or scrubber damage reports).
+	Reverifies int
+	// WorkersQuarantined counts workers quarantined for bad reputation.
+	WorkersQuarantined int
+}
+
+// workerRec is the queue's per-worker reputation ledger.
+type workerRec struct {
+	leased      int
+	completed   int
+	divergent   int
+	zombies     int
+	quarantined bool
+	reason      string
+}
+
+// WorkerHealth is one worker's reputation snapshot, surfaced on
+// /v1/healthz.
+type WorkerHealth struct {
+	Name        string `json:"name"`
+	Leased      int    `json:"leased"`
+	Completed   int    `json:"completed"`
+	Divergent   int    `json:"divergent,omitempty"`
+	Zombies     int    `json:"zombies,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// Verdict classifies the queue's judgment of one publish.
+type Verdict int
+
+const (
+	// VerdictAdmitted: the publish (or the quorum it completed) resolved
+	// the task; CompleteResult.Res carries the admitted result.
+	VerdictAdmitted Verdict = iota
+	// VerdictVoteRecorded: a verification vote was recorded; the task
+	// requeues for more independent executions.
+	VerdictVoteRecorded
+	// VerdictNeedArbiter: the quorum disagreed with no clear majority;
+	// the coordinator must re-execute the cell itself and call
+	// ResolveArbiter.
+	VerdictNeedArbiter
+	// VerdictDuplicate: benign re-publish of the already-admitted answer
+	// (retried RPC, or a slow worker agreeing with the winner).
+	VerdictDuplicate
+	// VerdictZombie: rejected — the lease is expired, superseded, or
+	// unknown, and the payload does not match an admitted value.
+	VerdictZombie
+	// VerdictFenceMismatch: rejected — live lease, wrong fencing token
+	// or wrong cell digest for the lease.
+	VerdictFenceMismatch
+	// VerdictDigestMismatch: rejected — the attested result digest does
+	// not match the shipped payload.
+	VerdictDigestMismatch
+	// VerdictDivergent: rejected — publish for a done task whose payload
+	// differs from the admitted value. The coordinator re-verifies the
+	// cell under quorum in response.
+	VerdictDivergent
+	// VerdictUnknown: the digest names no known task (e.g. a publish
+	// straddling a coordinator restart). Rejected; the work re-runs.
+	VerdictUnknown
+)
+
+// String names the verdict for logs and error bodies.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmitted:
+		return "admitted"
+	case VerdictVoteRecorded:
+		return "vote recorded"
+	case VerdictNeedArbiter:
+		return "quorum tied, arbitrating"
+	case VerdictDuplicate:
+		return "duplicate"
+	case VerdictZombie:
+		return "zombie publish"
+	case VerdictFenceMismatch:
+		return "fence mismatch"
+	case VerdictDigestMismatch:
+		return "attested digest mismatch"
+	case VerdictDivergent:
+		return "divergent publish"
+	case VerdictUnknown:
+		return "unknown task"
+	}
+	return "unknown verdict"
+}
+
+// Rejected reports whether the verdict refused the publish.
+func (v Verdict) Rejected() bool {
+	switch v {
+	case VerdictZombie, VerdictFenceMismatch, VerdictDigestMismatch, VerdictDivergent, VerdictUnknown:
+		return true
+	}
+	return false
+}
+
+// Publish is one worker's completed-cell submission as judged by the
+// queue. Canonical is computed by the coordinator from the payload it
+// actually received; ResultDigest is what the worker claims. The two
+// disagreeing is itself evidence of a fault.
+type Publish struct {
+	Lease        string
+	Fence        string
+	Digest       string
+	ResultDigest string // worker's attestation ("" = unattested legacy publish)
+	Canonical    string // coordinator-computed canonical digest of Result
+	Result       *machine.Result
+}
+
+// CompleteResult is the queue's decision on a publish.
+type CompleteResult struct {
+	Verdict Verdict
+	Reason  string
+	// Res and ResDigest carry the admitted result on VerdictAdmitted.
+	Res       *machine.Result
+	ResDigest string
+	// Cell is set on VerdictNeedArbiter (re-execute it) and
+	// VerdictDivergent (re-verify it).
+	Cell sweep.Cell
+	// Worker is the attributed publisher ("" when unattributable).
+	Worker string
 }
 
 // Queue is the coordinator's lease-based work queue. All methods are safe
@@ -126,8 +329,23 @@ type Queue struct {
 	tasks   map[string]*task
 	pending []string // FIFO of pending task digests
 	leases  map[string]*lease
+	tombs   map[string]tomb
+	tombLog []string // insertion order, capped at maxLeaseTombs
 	ttl     time.Duration
 	now     func() time.Time
+
+	// verifyFraction in [0,1] selects cells for quorum verification by
+	// their digest; quorum is how many votes a verified cell needs.
+	verifyFraction float64
+	quorum         int
+
+	// divergenceLimit / zombieLimit quarantine a worker once its strike
+	// counters reach them (0 disables that limit).
+	divergenceLimit int
+	zombieLimit     int
+	onQuarantine    func(worker, reason string)
+
+	workers map[string]*workerRec
 
 	nextLease  int
 	nextWaiter int
@@ -141,11 +359,50 @@ func NewQueue(ttl time.Duration) *Queue {
 		ttl = 30 * time.Second
 	}
 	return &Queue{
-		tasks:  make(map[string]*task),
-		leases: make(map[string]*lease),
-		ttl:    ttl,
-		now:    time.Now,
+		tasks:   make(map[string]*task),
+		leases:  make(map[string]*lease),
+		tombs:   make(map[string]tomb),
+		workers: make(map[string]*workerRec),
+		ttl:     ttl,
+		quorum:  2,
+		now:     time.Now,
 	}
+}
+
+// ConfigureVerification sets the fraction of cells selected for quorum
+// verification (clamped to [0,1]) and the quorum size (minimum 2).
+func (q *Queue) ConfigureVerification(fraction float64, quorum int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	if quorum < 2 {
+		quorum = 2
+	}
+	q.verifyFraction = fraction
+	q.quorum = quorum
+}
+
+// ConfigureReputation sets the strike limits past which a worker is
+// quarantined (0 disables the respective limit).
+func (q *Queue) ConfigureReputation(divergenceLimit, zombieLimit int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.divergenceLimit = divergenceLimit
+	q.zombieLimit = zombieLimit
+}
+
+// OnQuarantine registers a hook called when a worker transitions into
+// quarantine. The hook runs with the queue lock held and must not call
+// back into the queue.
+func (q *Queue) OnQuarantine(fn func(worker, reason string)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.onQuarantine = fn
 }
 
 // TTL returns the lease duration.
@@ -156,6 +413,42 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.stats
+}
+
+// Workers returns per-worker reputation snapshots, sorted by name.
+func (q *Queue) Workers() []WorkerHealth {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]WorkerHealth, 0, len(q.workers))
+	for name, rec := range q.workers {
+		out = append(out, WorkerHealth{
+			Name:        name,
+			Leased:      rec.leased,
+			Completed:   rec.completed,
+			Divergent:   rec.divergent,
+			Zombies:     rec.zombies,
+			Quarantined: rec.quarantined,
+			Reason:      rec.reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// QuarantineWorker forces a worker into quarantine (used by control-log
+// replay and operators). Idempotent; does not fire the OnQuarantine hook,
+// since replayed quarantines are already journaled.
+func (q *Queue) QuarantineWorker(worker, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec := q.workerLocked(worker)
+	if rec.quarantined {
+		return
+	}
+	rec.quarantined = true
+	rec.reason = reason
+	q.stats.WorkersQuarantined++
+	q.drainWorkerLocked(worker)
 }
 
 // Depth returns the number of pending and leased tasks.
@@ -224,10 +517,58 @@ func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Durat
 		cellTimeout: cellTimeout,
 		waiters:     map[int]chan<- Outcome{waiterID: ch},
 	}
+	if q.verifyFraction > 0 && digestFraction(digest) < q.verifyFraction {
+		t.verify = true
+		t.needed = q.quorum
+		q.stats.VerifiedCells++
+	}
 	q.tasks[digest] = t
 	q.pending = append(q.pending, digest)
 	q.stats.Enqueued++
 	return digest, waiterID
+}
+
+// digestFraction maps a hex digest onto [0,1) using its leading 52 bits,
+// giving a deterministic, uniformly distributed verification lottery: the
+// same cell is selected on every coordinator, every restart.
+func digestFraction(digest string) float64 {
+	if len(digest) < 13 {
+		return 0
+	}
+	v, err := strconv.ParseUint(digest[:13], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return float64(v) / float64(uint64(1)<<52)
+}
+
+// Requeue sends a done task back for quorum re-execution — the response
+// to divergence evidence or a scrubber damage report. The stale result
+// stays visible to dedup hits until the fresh quorum admits a value.
+// Reports ok=false when the digest is unknown or the task is not done.
+func (q *Queue) Requeue(digest string) (cell sweep.Cell, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, found := q.tasks[digest]
+	if !found || t.state != taskDone {
+		return sweep.Cell{}, false
+	}
+	t.state = taskPending
+	if !t.verify {
+		t.verify = true
+		q.stats.VerifiedCells++
+	}
+	if t.needed < q.quorum {
+		t.needed = q.quorum
+	}
+	t.votes = nil
+	t.attempts = 0
+	if t.maxAttempts < 2 {
+		t.maxAttempts = 2
+	}
+	q.pending = append(q.pending, digest)
+	q.stats.Reverifies++
+	return t.cell, true
 }
 
 // Abandon withdraws a waiter's interest in a task. A pending task nobody
@@ -241,54 +582,102 @@ func (q *Queue) Abandon(digest string, waiterID int) {
 		return
 	}
 	delete(t.waiters, waiterID)
-	if len(t.waiters) == 0 && t.state == taskPending {
+	if len(t.waiters) == 0 && t.state == taskPending && len(t.votes) == 0 {
 		delete(q.tasks, digest)
 		q.removePending(digest)
 		q.stats.Abandoned++
 	}
 }
 
+// ErrWorkerQuarantined is returned by Lease (and surfaced as HTTP 403 to
+// remote workers) when the worker's reputation put it in quarantine.
+var ErrWorkerQuarantined = fmt.Errorf("campaign: worker quarantined")
+
 // Lease grants the oldest pending task to worker under a fresh lease, or
 // reports ok=false when nothing is pending. Expired leases are collected
 // first, so a crashed worker's task is grantable as soon as its TTL
-// lapses.
-func (q *Queue) Lease(worker string) (Grant, bool) {
+// lapses. A quarantined worker gets ErrWorkerQuarantined. For cells under
+// quorum verification, tasks the worker has not yet voted on are
+// preferred, so votes come from independent workers when the fleet
+// allows it; a lone worker still makes progress (ties escalate to the
+// coordinator-side arbiter instead of deadlocking).
+func (q *Queue) Lease(worker string) (Grant, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
-	for len(q.pending) > 0 {
-		digest := q.pending[0]
-		q.pending = q.pending[1:]
+	rec := q.workerLocked(worker)
+	if rec.quarantined {
+		return Grant{}, false, fmt.Errorf("%w: %s", ErrWorkerQuarantined, rec.reason)
+	}
+	pick, fallback := -1, -1
+	kept := q.pending[:0]
+	for _, digest := range q.pending {
 		t, ok := q.tasks[digest]
 		if !ok || t.state != taskPending {
-			continue // pruned or completed-by-late-publish entries
+			continue // pruned or completed entries fall out here
 		}
-		q.nextLease++
-		l := &lease{
-			id:       fmt.Sprintf("l%06d", q.nextLease),
-			digest:   digest,
-			worker:   worker,
-			deadline: q.now().Add(q.ttl),
+		kept = append(kept, digest)
+		if pick >= 0 {
+			continue
 		}
-		t.state = taskLeased
-		t.lease = l
-		q.leases[l.id] = l
-		q.stats.Leased++
-		return Grant{
-			Lease:       l.id,
-			Digest:      digest,
-			Cell:        t.cell,
-			TTL:         q.ttl,
-			CellTimeout: t.cellTimeout,
-			Attempt:     t.attempts + 1,
-		}, true
+		if t.verify && t.votedBy(worker) {
+			if fallback < 0 {
+				fallback = len(kept) - 1
+			}
+			continue
+		}
+		pick = len(kept) - 1
 	}
-	return Grant{}, false
+	q.pending = kept
+	if pick < 0 {
+		pick = fallback
+	}
+	if pick < 0 {
+		return Grant{}, false, nil
+	}
+	digest := q.pending[pick]
+	q.pending = append(q.pending[:pick], q.pending[pick+1:]...)
+	t := q.tasks[digest]
+	q.nextLease++
+	l := &lease{
+		id:       fmt.Sprintf("l%06d", q.nextLease),
+		fence:    newFence(),
+		digest:   digest,
+		worker:   worker,
+		deadline: q.now().Add(q.ttl),
+	}
+	t.state = taskLeased
+	t.lease = l
+	q.leases[l.id] = l
+	q.stats.Leased++
+	rec.leased++
+	return Grant{
+		Lease:       l.id,
+		Fence:       l.fence,
+		Digest:      digest,
+		Cell:        t.cell,
+		Verify:      t.verify,
+		TTL:         q.ttl,
+		CellTimeout: t.cellTimeout,
+		Attempt:     t.attempts + 1,
+	}, true, nil
+}
+
+// newFence mints an unguessable fencing token.
+func newFence() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// non-secret token rather than refusing to grant work.
+		return fmt.Sprintf("f%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // ErrLeaseGone is returned by Renew when the lease expired or was
-// superseded; the worker should finish (its publish is still accepted
-// and idempotent) but must expect the cell may also run elsewhere.
+// superseded; the worker should finish and publish (a benign duplicate
+// is accepted) but must expect the cell may also run elsewhere and its
+// own publish may be fenced off.
 var ErrLeaseGone = fmt.Errorf("campaign: lease expired or superseded")
 
 // Renew extends a live lease by the queue TTL.
@@ -304,36 +693,213 @@ func (q *Queue) Renew(leaseID string) error {
 	return nil
 }
 
-// Complete publishes a result for digest. It is idempotent and lease-
-// lenient by design: the first publish for a task delivers the result to
-// every waiter and marks it done, regardless of whether the publishing
-// worker's lease is still live (results are digest-keyed, so a late
-// publish from an expired lease is just as valid). Publishes after the
-// task is done are counted and dropped — the no-op the store's content
-// addressing guarantees. Unknown digests are ignored.
-func (q *Queue) Complete(leaseID, digest string, res *machine.Result) {
+// Complete judges a publish. The checks, in order:
+//
+//  1. Attribution: the lease table or its tombstones name the worker and
+//     fence; a wholly unknown lease is an unattributable zombie.
+//  2. Done tasks: a payload matching the admitted digest is a benign
+//     duplicate; anything else is divergence evidence that re-verifies
+//     the cell and strikes the publisher.
+//  3. Fencing: a dead lease (expired/superseded) is a zombie publish —
+//     unless it is a retried RPC re-shipping the worker's own recorded
+//     vote. A live lease with the wrong fence or wrong digest is
+//     rejected without disturbing the real leaseholder.
+//  4. Attestation: the worker's claimed result digest must match the
+//     payload the coordinator actually received.
+//  5. Admission: unverified cells admit immediately; verified cells
+//     record a vote and requeue until the quorum agrees (majority of
+//     latest votes per worker), tying quorums escalate to the arbiter.
+//
+// Zombie and divergence rejections strike the attributed worker's
+// reputation; past the configured limits the worker is quarantined.
+func (q *Queue) Complete(pub Publish) CompleteResult {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.dropLease(leaseID)
-	t, ok := q.tasks[digest]
+	q.expireLocked()
+
+	var worker, fence string
+	live := false
+	if l, ok := q.leases[pub.Lease]; ok {
+		worker, fence, live = l.worker, l.fence, true
+	} else if tb, ok := q.tombs[pub.Lease]; ok {
+		worker, fence = tb.worker, tb.fence
+	}
+
+	t, ok := q.tasks[pub.Digest]
 	if !ok {
-		return
+		// Unknown work (e.g. a publish straddling a coordinator
+		// restart). Drop the lease if live; the successor's recovery
+		// re-enqueues the cell and it re-runs.
+		if live {
+			q.dropLeaseLocked(pub.Lease)
+		}
+		return CompleteResult{Verdict: VerdictUnknown, Reason: "no task for digest " + short(pub.Digest), Worker: worker}
 	}
+
 	if t.state == taskDone {
-		q.stats.LatePublishes++
+		if live {
+			q.dropLeaseLocked(pub.Lease)
+			if t.lease != nil && t.lease.id == pub.Lease {
+				t.lease = nil
+			}
+		}
+		if pub.Canonical != "" && pub.Canonical == t.resDigest {
+			q.stats.LatePublishes++
+			return CompleteResult{Verdict: VerdictDuplicate, Worker: worker}
+		}
+		q.stats.DivergentPublishes++
+		q.strikeDivergenceLocked(worker, "published a result diverging from the admitted value for cell "+t.cell.Label)
+		if !t.verify {
+			t.verify = true
+			t.needed = q.quorum
+			q.stats.VerifiedCells++
+		}
+		return CompleteResult{
+			Verdict: VerdictDivergent,
+			Reason:  "payload differs from admitted result",
+			Cell:    t.cell,
+			Worker:  worker,
+		}
+	}
+
+	if !live {
+		// Dead or unknown lease on unfinished work. A retried RPC
+		// re-shipping this worker's own recorded vote is benign;
+		// everything else is a zombie publish, fenced off.
+		if worker != "" && t.verify && pub.Canonical != "" && t.latestVote(worker) == pub.Canonical {
+			q.stats.LatePublishes++
+			return CompleteResult{Verdict: VerdictDuplicate, Worker: worker}
+		}
+		q.stats.ZombiePublishes++
+		q.strikeZombieLocked(worker, "published under a dead lease for cell "+t.cell.Label)
+		return CompleteResult{Verdict: VerdictZombie, Reason: "lease " + pub.Lease + " is not live", Worker: worker}
+	}
+
+	if pub.Fence != fence || t.state != taskLeased || t.lease == nil || t.lease.id != pub.Lease {
+		// Wrong token (or a stale lease record that no longer backs the
+		// task). Reject without dropping the live lease: a forger must
+		// not be able to evict the legitimate holder.
+		q.stats.FenceMismatches++
+		return CompleteResult{Verdict: VerdictFenceMismatch, Reason: "fencing token mismatch", Worker: worker}
+	}
+
+	if pub.ResultDigest != "" && pub.ResultDigest != pub.Canonical {
+		// The worker's attestation disagrees with the bytes it shipped:
+		// corruption in flight or a lying worker. Requeue without
+		// burning an attempt — the cell itself is fine.
+		q.stats.DigestMismatches++
+		q.dropLeaseLocked(pub.Lease)
+		t.lease = nil
+		t.state = taskPending
+		q.pending = append(q.pending, pub.Digest)
+		q.strikeDivergenceLocked(worker, "attested digest does not match payload for cell "+t.cell.Label)
+		return CompleteResult{Verdict: VerdictDigestMismatch, Reason: "attested digest does not match payload", Worker: worker}
+	}
+
+	q.dropLeaseLocked(pub.Lease)
+	t.lease = nil
+
+	if t.verify {
+		t.votes = append(t.votes, vote{worker: worker, digest: pub.Canonical, res: pub.Result})
+		q.stats.Votes++
+		return q.tallyLocked(t)
+	}
+
+	q.workerLocked(worker).completed++
+	return q.admitLocked(t, pub.Canonical, pub.Result)
+}
+
+// tallyLocked decides a verified task after a new vote: short of quorum
+// it requeues for another independent execution; with quorum it admits a
+// strict majority of the latest vote per worker (and at least two
+// agreeing executions); a tie escalates to the coordinator arbiter.
+func (q *Queue) tallyLocked(t *task) CompleteResult {
+	if len(t.votes) < t.needed {
+		t.state = taskPending
+		q.pending = append(q.pending, t.digest)
+		return CompleteResult{Verdict: VerdictVoteRecorded}
+	}
+	latest := make(map[string]string, len(t.votes))
+	for _, v := range t.votes {
+		latest[v.worker] = v.digest
+	}
+	counts := make(map[string]int)
+	for _, d := range latest {
+		counts[d]++
+	}
+	majority := ""
+	for d, n := range counts {
+		if 2*n > len(latest) && n >= 2 {
+			majority = d
+			break
+		}
+	}
+	if majority == "" {
+		q.stats.Arbitrations++
+		t.state = taskArbitrating
+		return CompleteResult{Verdict: VerdictNeedArbiter, Cell: t.cell}
+	}
+	var res *machine.Result
+	for _, v := range t.votes {
+		if v.digest == majority {
+			res = v.res
+			break
+		}
+	}
+	return q.admitLocked(t, majority, res)
+}
+
+// ResolveArbiter installs the coordinator's own re-execution as the
+// admitted value for a task stuck in arbitration. Reports ok=false when
+// the task is unknown or no longer arbitrating.
+func (q *Queue) ResolveArbiter(digest, resDigest string, res *machine.Result) (CompleteResult, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[digest]
+	if !ok || t.state != taskArbitrating {
+		return CompleteResult{}, false
+	}
+	return q.admitLocked(t, resDigest, res), true
+}
+
+// ArbiterFailed abandons an arbitration attempt (coordinator-side
+// simulation error): the vote history resets and the task requeues for a
+// fresh quorum, without burning the retry budget.
+func (q *Queue) ArbiterFailed(digest string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[digest]
+	if !ok || t.state != taskArbitrating {
 		return
 	}
-	if t.lease != nil {
-		// Another worker holds a newer lease on this task; its eventual
-		// publish will be the late no-op instead.
-		q.dropLease(t.lease.id)
-		t.lease = nil
-	}
-	q.removePending(digest)
+	t.votes = nil
+	t.state = taskPending
+	q.pending = append(q.pending, digest)
+}
+
+// admitLocked finalizes a task with the admitted result, delivers it to
+// every waiter, and strikes every worker whose recorded vote disagreed.
+func (q *Queue) admitLocked(t *task, resDigest string, res *machine.Result) CompleteResult {
+	q.removePending(t.digest)
 	t.state = taskDone
 	t.res = res
+	t.resDigest = resDigest
+	blamed := make(map[string]bool)
+	for _, v := range t.votes {
+		if v.digest == resDigest {
+			if !blamed[v.worker] {
+				q.workerLocked(v.worker).completed++
+				blamed[v.worker] = true
+			}
+			continue
+		}
+		q.stats.DivergentVotes++
+		q.strikeDivergenceLocked(v.worker, "quorum rejected its result for cell "+t.cell.Label)
+	}
+	t.votes = nil
 	q.stats.Completed++
 	q.deliverLocked(t, Outcome{Res: res})
+	return CompleteResult{Verdict: VerdictAdmitted, Res: res, ResDigest: resDigest, Cell: t.cell}
 }
 
 // Fail reports a worker-side execution failure. A failure under a stale
@@ -344,7 +910,7 @@ func (q *Queue) Fail(leaseID, digest, msg string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, live := q.leases[leaseID]
-	q.dropLease(leaseID)
+	q.dropLeaseLocked(leaseID)
 	if !live || l.digest != digest {
 		return
 	}
@@ -375,9 +941,8 @@ func (q *Queue) ExpireLeases() int {
 }
 
 // expireLocked requeues tasks with lapsed leases. An expiry does not
-// consume an attempt: the worker may be slow rather than broken, and its
-// late publish remains acceptable; only explicit Fail reports burn
-// attempts.
+// consume an attempt: the worker may be slow rather than broken; its
+// eventual publish is judged by the fencing and attestation rules.
 func (q *Queue) expireLocked() int {
 	now := q.now()
 	expired := 0
@@ -385,7 +950,7 @@ func (q *Queue) expireLocked() int {
 		if now.Before(l.deadline) {
 			continue
 		}
-		delete(q.leases, id)
+		q.dropLeaseLocked(id)
 		expired++
 		t, ok := q.tasks[l.digest]
 		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != id {
@@ -399,6 +964,73 @@ func (q *Queue) expireLocked() int {
 	return expired
 }
 
+// workerLocked returns (creating if needed) the reputation record.
+func (q *Queue) workerLocked(worker string) *workerRec {
+	rec, ok := q.workers[worker]
+	if !ok {
+		rec = &workerRec{}
+		q.workers[worker] = rec
+	}
+	return rec
+}
+
+// strikeDivergenceLocked records a divergence strike and quarantines the
+// worker past the limit. Unattributable publishes strike nobody.
+func (q *Queue) strikeDivergenceLocked(worker, reason string) {
+	if worker == "" {
+		return
+	}
+	rec := q.workerLocked(worker)
+	rec.divergent++
+	if q.divergenceLimit > 0 && rec.divergent >= q.divergenceLimit {
+		q.quarantineLocked(worker, rec, reason)
+	}
+}
+
+// strikeZombieLocked records a zombie-publish strike.
+func (q *Queue) strikeZombieLocked(worker, reason string) {
+	if worker == "" {
+		return
+	}
+	rec := q.workerLocked(worker)
+	rec.zombies++
+	if q.zombieLimit > 0 && rec.zombies >= q.zombieLimit {
+		q.quarantineLocked(worker, rec, reason)
+	}
+}
+
+// quarantineLocked marks a worker quarantined, drains its live leases
+// back to pending (burning no attempts), and fires the hook.
+func (q *Queue) quarantineLocked(worker string, rec *workerRec, reason string) {
+	if rec.quarantined {
+		return
+	}
+	rec.quarantined = true
+	rec.reason = reason
+	q.stats.WorkersQuarantined++
+	q.drainWorkerLocked(worker)
+	if q.onQuarantine != nil {
+		q.onQuarantine(worker, reason)
+	}
+}
+
+// drainWorkerLocked requeues every task the worker currently leases.
+func (q *Queue) drainWorkerLocked(worker string) {
+	for id, l := range q.leases {
+		if l.worker != worker {
+			continue
+		}
+		q.dropLeaseLocked(id)
+		t, ok := q.tasks[l.digest]
+		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != id {
+			continue
+		}
+		t.lease = nil
+		t.state = taskPending
+		q.pending = append(q.pending, l.digest)
+	}
+}
+
 // deliverLocked sends the outcome to every waiter and clears the set.
 func (q *Queue) deliverLocked(t *task, out Outcome) {
 	for _, ch := range t.waiters {
@@ -407,9 +1039,20 @@ func (q *Queue) deliverLocked(t *task, out Outcome) {
 	t.waiters = make(map[int]chan<- Outcome)
 }
 
-// dropLease removes a lease entry if present.
-func (q *Queue) dropLease(leaseID string) {
+// dropLeaseLocked retires a lease into the tombstone ring so later
+// publishes under it stay attributable.
+func (q *Queue) dropLeaseLocked(leaseID string) {
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return
+	}
 	delete(q.leases, leaseID)
+	q.tombs[leaseID] = tomb{worker: l.worker, fence: l.fence, digest: l.digest}
+	q.tombLog = append(q.tombLog, leaseID)
+	if len(q.tombLog) > maxLeaseTombs {
+		delete(q.tombs, q.tombLog[0])
+		q.tombLog = q.tombLog[1:]
+	}
 }
 
 // removePending deletes digest from the pending FIFO if queued.
@@ -420,4 +1063,26 @@ func (q *Queue) removePending(digest string) {
 			return
 		}
 	}
+}
+
+// latestVote returns the canonical digest of the worker's most recent
+// vote on the task ("" if it never voted).
+func (t *task) latestVote(worker string) string {
+	for i := len(t.votes) - 1; i >= 0; i-- {
+		if t.votes[i].worker == worker {
+			return t.votes[i].digest
+		}
+	}
+	return ""
+}
+
+// votedBy reports whether the worker already voted on the task.
+func (t *task) votedBy(worker string) bool { return t.latestVote(worker) != "" }
+
+// short truncates a digest for log lines.
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
 }

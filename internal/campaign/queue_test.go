@@ -39,12 +39,37 @@ func (c *fakeClock) advance(d time.Duration)  { c.t = c.t.Add(d) }
 func newFakeClock() *fakeClock                { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
 func withClock(q *Queue, c *fakeClock) *Queue { q.now = c.now; return q }
 
+// mustLease leases as worker, failing the test on a quarantine error.
+func mustLease(t *testing.T, q *Queue, worker string) (Grant, bool) {
+	t.Helper()
+	g, ok, err := q.Lease(worker)
+	if err != nil {
+		t.Fatalf("lease(%s): %v", worker, err)
+	}
+	return g, ok
+}
+
+// honestPublish builds the publish an honest worker (and a faithful
+// coordinator transport) would produce for res under grant g: the
+// attested digest and the canonical digest agree.
+func honestPublish(t *testing.T, g Grant, res *machine.Result) Publish {
+	t.Helper()
+	d, err := ResultDigest(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Publish{
+		Lease: g.Lease, Fence: g.Fence, Digest: g.Digest,
+		ResultDigest: d, Canonical: d, Result: res,
+	}
+}
+
 func TestQueueLeaseCompleteDelivers(t *testing.T) {
 	q := NewQueue(time.Minute)
 	ch := make(chan Outcome, 1)
 	digest, _ := q.Enqueue(testCell(t, 1), 1, 0, ch)
 
-	g, ok := q.Lease("w1")
+	g, ok := mustLease(t, q, "w1")
 	if !ok {
 		t.Fatal("no grant for a pending task")
 	}
@@ -54,9 +79,14 @@ func TestQueueLeaseCompleteDelivers(t *testing.T) {
 	if g.Attempt != 1 {
 		t.Fatalf("attempt = %d, want 1", g.Attempt)
 	}
+	if g.Fence == "" {
+		t.Fatal("grant carries no fencing token")
+	}
 
 	res := fakeResult(42)
-	q.Complete(g.Lease, digest, res)
+	if out := q.Complete(honestPublish(t, g, res)); out.Verdict != VerdictAdmitted {
+		t.Fatalf("honest publish verdict = %s, want admitted", out.Verdict)
+	}
 	select {
 	case out := <-ch:
 		if out.Err != nil || out.Res != res {
@@ -76,10 +106,10 @@ func TestQueueLeaseExpiryRequeues(t *testing.T) {
 	ch := make(chan Outcome, 1)
 	digest, _ := q.Enqueue(testCell(t, 1), 1, 0, ch)
 
-	if _, ok := q.Lease("w1"); !ok {
+	if _, ok := mustLease(t, q, "w1"); !ok {
 		t.Fatal("no grant")
 	}
-	if _, ok := q.Lease("w2"); ok {
+	if _, ok := mustLease(t, q, "w2"); ok {
 		t.Fatal("leased task granted twice while the lease is live")
 	}
 
@@ -88,7 +118,7 @@ func TestQueueLeaseExpiryRequeues(t *testing.T) {
 		t.Fatalf("expired %d leases, want 1", n)
 	}
 
-	g2, ok := q.Lease("w2")
+	g2, ok := mustLease(t, q, "w2")
 	if !ok {
 		t.Fatal("expired task not re-leased")
 	}
@@ -112,17 +142,17 @@ func TestQueueLatePublishIsNoOp(t *testing.T) {
 	clock := newFakeClock()
 	q := withClock(NewQueue(time.Second), clock)
 	ch := make(chan Outcome, 1)
-	digest, _ := q.Enqueue(testCell(t, 1), 1, 0, ch)
+	q.Enqueue(testCell(t, 1), 1, 0, ch)
 
-	g1, _ := q.Lease("stalled")
+	g1, _ := mustLease(t, q, "stalled")
 	clock.advance(2 * time.Second) // stalled worker sleeps past its TTL
 
-	g2, ok := q.Lease("healthy")
+	g2, ok := mustLease(t, q, "healthy")
 	if !ok {
 		t.Fatal("expired task not re-leased")
 	}
 	resHealthy := fakeResult(42)
-	q.Complete(g2.Lease, digest, resHealthy)
+	q.Complete(honestPublish(t, g2, resHealthy))
 
 	out := <-ch
 	if out.Res != resHealthy {
@@ -130,8 +160,11 @@ func TestQueueLatePublishIsNoOp(t *testing.T) {
 	}
 
 	// The stalled worker wakes up and publishes the (identical, because
-	// simulations are deterministic in the digest) result late.
-	q.Complete(g1.Lease, digest, fakeResult(42))
+	// simulations are deterministic in the digest) result late: a benign
+	// duplicate, not a zombie strike.
+	if out := q.Complete(honestPublish(t, g1, fakeResult(42))); out.Verdict != VerdictDuplicate {
+		t.Fatalf("identical late publish verdict = %s, want duplicate", out.Verdict)
+	}
 
 	select {
 	case <-ch:
@@ -145,28 +178,53 @@ func TestQueueLatePublishIsNoOp(t *testing.T) {
 	if st.Completed != 1 {
 		t.Fatalf("Completed = %d, want 1 (late publish must not double-count)", st.Completed)
 	}
+	if st.ZombiePublishes != 0 {
+		t.Fatalf("ZombiePublishes = %d, want 0 (honest duplicate must not strike)", st.ZombiePublishes)
+	}
 }
 
-// A late publish that lands while the re-leased worker is still running
-// wins the race: it resolves the task and the re-leased worker's later
-// publish becomes the no-op.
-func TestQueueLatePublishBeforeSecondCompleteWins(t *testing.T) {
+// A publish under an expired lease on unfinished work is fenced off as a
+// zombie: the re-leased worker owns the cell now, and admitting the
+// zombie's payload would let a stalled (or malicious) worker race the
+// legitimate holder.
+func TestQueueZombiePublishFencedOff(t *testing.T) {
 	clock := newFakeClock()
 	q := withClock(NewQueue(time.Second), clock)
 	ch := make(chan Outcome, 1)
-	digest, _ := q.Enqueue(testCell(t, 1), 1, 0, ch)
+	q.Enqueue(testCell(t, 1), 1, 0, ch)
 
-	g1, _ := q.Lease("stalled")
+	g1, _ := mustLease(t, q, "stalled")
 	clock.advance(2 * time.Second)
-	g2, _ := q.Lease("healthy")
+	g2, _ := mustLease(t, q, "healthy")
 
-	q.Complete(g1.Lease, digest, fakeResult(42)) // stalled worker publishes first
-	if out := <-ch; out.Err != nil {
-		t.Fatalf("late-but-first publish rejected: %v", out.Err)
+	// The stalled worker publishes first, under its dead lease.
+	out := q.Complete(honestPublish(t, g1, fakeResult(42)))
+	if out.Verdict != VerdictZombie {
+		t.Fatalf("dead-lease publish verdict = %s, want zombie", out.Verdict)
 	}
-	q.Complete(g2.Lease, digest, fakeResult(42)) // healthy worker's is now the no-op
-	if st := q.Stats(); st.Completed != 1 || st.LatePublishes != 1 {
-		t.Fatalf("Completed=%d LatePublishes=%d, want 1/1", st.Completed, st.LatePublishes)
+	if out.Worker != "stalled" {
+		t.Fatalf("zombie attributed to %q, want the stalled worker", out.Worker)
+	}
+	select {
+	case <-ch:
+		t.Fatal("fenced zombie publish delivered an outcome")
+	default:
+	}
+
+	// The legitimate leaseholder completes normally.
+	if out := q.Complete(honestPublish(t, g2, fakeResult(42))); out.Verdict != VerdictAdmitted {
+		t.Fatalf("leaseholder publish verdict = %s, want admitted", out.Verdict)
+	}
+	if o := <-ch; o.Err != nil {
+		t.Fatalf("leaseholder completion failed: %v", o.Err)
+	}
+	st := q.Stats()
+	if st.Completed != 1 || st.ZombiePublishes != 1 {
+		t.Fatalf("Completed=%d ZombiePublishes=%d, want 1/1", st.Completed, st.ZombiePublishes)
+	}
+	ws := q.Workers()
+	if len(ws) == 0 || ws[len(ws)-1].Name != "stalled" || ws[len(ws)-1].Zombies != 1 {
+		t.Fatalf("stalled worker's zombie strike not recorded: %+v", ws)
 	}
 }
 
@@ -175,7 +233,7 @@ func TestQueueFailRetriesThenDelivers(t *testing.T) {
 	ch := make(chan Outcome, 1)
 	digest, _ := q.Enqueue(testCell(t, 1), 2, 0, ch) // 1 retry
 
-	g1, _ := q.Lease("w1")
+	g1, _ := mustLease(t, q, "w1")
 	q.Fail(g1.Lease, digest, "boom")
 	select {
 	case <-ch:
@@ -183,7 +241,7 @@ func TestQueueFailRetriesThenDelivers(t *testing.T) {
 	default:
 	}
 
-	g2, ok := q.Lease("w1")
+	g2, ok := mustLease(t, q, "w1")
 	if !ok {
 		t.Fatal("failed task not requeued within its attempt budget")
 	}
@@ -206,9 +264,9 @@ func TestQueueStaleFailIgnored(t *testing.T) {
 	ch := make(chan Outcome, 1)
 	digest, _ := q.Enqueue(testCell(t, 1), 1, 0, ch)
 
-	g1, _ := q.Lease("w1")
+	g1, _ := mustLease(t, q, "w1")
 	clock.advance(2 * time.Second)
-	g2, _ := q.Lease("w2")
+	g2, _ := mustLease(t, q, "w2")
 
 	// w1's failure report arrives under its expired lease: ignored, no
 	// attempt burned, w2's lease untouched.
@@ -218,7 +276,7 @@ func TestQueueStaleFailIgnored(t *testing.T) {
 		t.Fatal("stale failure delivered an outcome")
 	default:
 	}
-	q.Complete(g2.Lease, digest, fakeResult(1))
+	q.Complete(honestPublish(t, g2, fakeResult(1)))
 	if out := <-ch; out.Err != nil {
 		t.Fatalf("healthy completion failed: %v", out.Err)
 	}
@@ -237,8 +295,8 @@ func TestQueueDedupAcrossEnqueues(t *testing.T) {
 		t.Fatalf("Enqueued=%d Deduped=%d, want 1/1", st.Enqueued, st.Deduped)
 	}
 
-	g, _ := q.Lease("w1")
-	q.Complete(g.Lease, digest, fakeResult(7))
+	g, _ := mustLease(t, q, "w1")
+	q.Complete(honestPublish(t, g, fakeResult(7)))
 	if out := <-ch1; out.Res == nil {
 		t.Fatal("first waiter missed the result")
 	}
@@ -264,7 +322,7 @@ func TestQueueAbandonPrunesPending(t *testing.T) {
 	ch := make(chan Outcome, 1)
 	digest, wid := q.Enqueue(testCell(t, 1), 1, 0, ch)
 	q.Abandon(digest, wid)
-	if _, ok := q.Lease("w1"); ok {
+	if _, ok := mustLease(t, q, "w1"); ok {
 		t.Fatal("abandoned task still leased out")
 	}
 	if st := q.Stats(); st.Abandoned != 1 {
@@ -277,7 +335,7 @@ func TestQueueAbandonPrunesPending(t *testing.T) {
 	digest, widA := q.Enqueue(testCell(t, 2), 1, 0, chA)
 	q.Enqueue(testCell(t, 2), 1, 0, chB)
 	q.Abandon(digest, widA)
-	if _, ok := q.Lease("w1"); !ok {
+	if _, ok := mustLease(t, q, "w1"); !ok {
 		t.Fatal("task with a live waiter was pruned")
 	}
 }
@@ -287,7 +345,7 @@ func TestQueueRenewExtendsLease(t *testing.T) {
 	q := withClock(NewQueue(time.Second), clock)
 	ch := make(chan Outcome, 1)
 	q.Enqueue(testCell(t, 1), 1, 0, ch)
-	g, _ := q.Lease("w1")
+	g, _ := mustLease(t, q, "w1")
 
 	clock.advance(700 * time.Millisecond)
 	if err := q.Renew(g.Lease); err != nil {

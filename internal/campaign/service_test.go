@@ -202,10 +202,17 @@ func TestStalledWorkerDoublePublish(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The stalled worker takes the first cell and sits on it.
-	stalled, ok, err := client.Lease(ctx, "stalled")
-	if err != nil || !ok {
-		t.Fatalf("stalled worker got no lease (ok=%v err=%v)", ok, err)
+	// The stalled worker takes the first cell and sits on it. Cells are
+	// enqueued asynchronously after Submit returns, so poll briefly.
+	var stalled Grant
+	for ok := false; !ok; {
+		stalled, ok, err = client.Lease(ctx, "stalled")
+		if err != nil {
+			t.Fatalf("stalled worker lease: %v", err)
+		}
+		if !ok {
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 
 	// Wait out the TTL so the coordinator's expiry loop requeues it.
@@ -246,7 +253,14 @@ func TestStalledWorkerDoublePublish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Complete(ctx, stalled.Lease, stalled.Digest, stalled.Cell.Label, res); err != nil {
+	attest, err := ResultDigest(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payload is byte-identical to the admitted one (simulations are
+	// deterministic in the digest), so this is a benign duplicate — not a
+	// zombie strike, not a 409.
+	if err := client.Complete(ctx, stalled.Lease, stalled.Fence, stalled.Digest, stalled.Cell.Label, attest, res); err != nil {
 		t.Fatalf("late publish rejected instead of no-op'd: %v", err)
 	}
 

@@ -32,6 +32,10 @@ type WorkerOptions struct {
 	// network partition (default 5s, never below Poll). The backoff
 	// resets on the first successful exchange.
 	MaxBackoff time.Duration
+	// Byzantine, when enabled, makes the worker misbehave per the seeded
+	// spec (corrupt results, lying attestations, zombie publishes) —
+	// chaos-testing the coordinator's defenses.
+	Byzantine ByzantineSpec
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -48,6 +52,7 @@ type Worker struct {
 	maxBackoff time.Duration
 	logf       func(string, ...any)
 	engine     *sweep.Engine
+	byz        *byzantine
 
 	mu    sync.Mutex
 	stats WorkerStats
@@ -61,12 +66,16 @@ type WorkerStats struct {
 	Completed int
 	Failed    int
 	// RenewLost counts heartbeats that found the lease already expired
-	// or superseded (the worker kept going; its publish stayed valid).
+	// or superseded (the worker kept going; its publish may still land
+	// as a benign duplicate, or be fenced off as a zombie).
 	RenewLost int
 	// LeaseErrors counts lease attempts that failed even after the
 	// client's own retries — the coordinator was down long enough that
 	// the worker fell back to its outer backoff loop.
 	LeaseErrors int
+	// Rejected counts publishes the coordinator refused with a 409:
+	// fenced zombies, attestation mismatches, divergent answers.
+	Rejected int
 }
 
 // NewWorker returns a worker for the given coordinator client.
@@ -96,7 +105,19 @@ func NewWorker(client *Client, opts WorkerOptions) *Worker {
 	}
 	engine := sweep.New(1)
 	engine.SetStore(opts.Store)
-	return &Worker{client: client, name: name, poll: poll, maxBackoff: maxBackoff, logf: logf, engine: engine}
+	return &Worker{
+		client: client, name: name, poll: poll, maxBackoff: maxBackoff,
+		logf: logf, engine: engine, byz: newByzantine(opts.Byzantine),
+	}
+}
+
+// ByzantineStats reports the injected-misbehavior counters (zero when
+// the worker is honest).
+func (w *Worker) ByzantineStats() ByzantineStats {
+	if w.byz == nil {
+		return ByzantineStats{}
+	}
+	return w.byz.Stats()
 }
 
 // Name returns the worker's lease identity.
@@ -114,7 +135,10 @@ func (w *Worker) Stats() WorkerStats {
 // off with jittered exponential delays up to MaxBackoff, resetting on
 // the first successful exchange — the worker rides out a full
 // coordinator restart and re-leases without intervention. Run returns
-// only ctx.Err().
+// ctx.Err(), or ErrWorkerQuarantined when the coordinator quarantined
+// this worker: that is terminal — the coordinator no longer trusts this
+// process's answers, so retrying under the same name is pointless and a
+// 403 must never be mistaken for a healthy exchange.
 func (w *Worker) Run(ctx context.Context) error {
 	w.logf("worker %s: polling for work", w.name)
 	backoff := w.poll
@@ -126,6 +150,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
+			}
+			if errors.Is(err, ErrWorkerQuarantined) {
+				w.logf("worker %s: QUARANTINED by the coordinator; exiting: %v", w.name, err)
+				return err
 			}
 			w.mu.Lock()
 			w.stats.LeaseErrors++
@@ -171,18 +199,22 @@ func jitter(d time.Duration) time.Duration {
 }
 
 // runCell executes one granted cell under a heartbeat and publishes the
-// outcome.
+// outcome with its attestation.
 func (w *Worker) runCell(ctx context.Context, g Grant) {
 	w.mu.Lock()
 	w.stats.Leased++
 	w.mu.Unlock()
-	w.logf("worker %s: leased %s (%s, attempt %d)", w.name, g.Digest[:12], g.Cell.Label, g.Attempt)
+	verifyTag := ""
+	if g.Verify {
+		verifyTag = ", verify"
+	}
+	w.logf("worker %s: leased %s (%s, attempt %d%s)", w.name, g.Digest[:12], g.Cell.Label, g.Attempt, verifyTag)
 
 	stopBeat := w.heartbeat(ctx, g)
 	res, err := w.execute(ctx, g)
-	stopBeat()
 
 	if err != nil {
+		stopBeat()
 		// A cancelled worker reports nothing: the lease will expire and
 		// the cell re-lease, exactly like a crash.
 		if ctx.Err() != nil {
@@ -198,7 +230,50 @@ func (w *Worker) runCell(ctx context.Context, g Grant) {
 		return
 	}
 
-	if cerr := w.client.Complete(ctx, g.Lease, g.Digest, g.Cell.Label, res); cerr != nil {
+	// Attest the canonical digest of the payload about to ship.
+	attest, derr := ResultDigest(res)
+	if derr != nil {
+		w.logf("worker %s: cell %s: attestation digest failed: %v", w.name, g.Digest[:12], derr)
+		attest = ""
+	}
+
+	// A Byzantine worker decides here how to misbehave with the finished
+	// cell: corrupt the payload (self-consistent attestation — only an
+	// independent re-execution catches it), lie in the attestation, or
+	// go silent and publish after the lease is dead.
+	if w.byz != nil {
+		switch w.byz.draw() {
+		case byzCorrupt:
+			res = corruptResult(res)
+			if attest != "" {
+				if d, err := ResultDigest(res); err == nil {
+					attest = d
+				}
+			}
+			w.logf("worker %s: byzantine: publishing corrupt result for %s", w.name, g.Digest[:12])
+		case byzLie:
+			attest = lieDigest(attest)
+			w.logf("worker %s: byzantine: attesting wrong digest for %s", w.name, g.Digest[:12])
+		case byzZombie:
+			stopBeat()
+			wait := g.TTL + g.TTL/2
+			w.logf("worker %s: byzantine: going silent %s to zombie-publish %s", w.name, wait, g.Digest[:12])
+			if !w.sleep(ctx, wait) {
+				return
+			}
+		}
+	}
+	stopBeat()
+
+	if cerr := w.client.Complete(ctx, g.Lease, g.Fence, g.Digest, g.Cell.Label, attest, res); cerr != nil {
+		var apiErr *APIError
+		if errors.As(cerr, &apiErr) && apiErr.Status == 409 {
+			w.mu.Lock()
+			w.stats.Rejected++
+			w.mu.Unlock()
+			w.logf("worker %s: publish %s REJECTED: %v", w.name, g.Digest[:12], cerr)
+			return
+		}
 		w.logf("worker %s: publish %s: %v", w.name, g.Digest[:12], cerr)
 		return
 	}
@@ -210,13 +285,20 @@ func (w *Worker) runCell(ctx context.Context, g Grant) {
 
 // execute runs the cell through the worker's sweep engine: panic guard,
 // per-grant cell timeout, store persistence and rehydration all come
-// with it.
+// with it. A verification grant instead runs on a fresh, storeless
+// engine: the whole point of the quorum is an independent re-execution,
+// so serving the vote from the shared store (or this worker's cache)
+// would just echo the first answer back.
 func (w *Worker) execute(ctx context.Context, g Grant) (*machine.Result, error) {
-	w.engine.SetCellTimeout(g.CellTimeout)
-	w.engine.SetSimulator(func(c sweep.Cell) (*machine.Result, error) {
+	eng := w.engine
+	if g.Verify {
+		eng = sweep.New(1)
+	}
+	eng.SetCellTimeout(g.CellTimeout)
+	eng.SetSimulator(func(c sweep.Cell) (*machine.Result, error) {
 		return sweep.SimulateContext(ctx, c)
 	})
-	results, err := w.engine.Run(ctx, []sweep.Cell{g.Cell}, 1)
+	results, err := eng.Run(ctx, []sweep.Cell{g.Cell}, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"secmgpu/internal/machine"
@@ -158,28 +160,112 @@ func (s *Store) Get(keyDigest string) (*machine.Result, bool) {
 // decode verifies and decodes one entry, returning a non-empty reason
 // on any failure. It never panics on arbitrary input (fuzzed).
 func (s *Store) decode(keyDigest string, data []byte) (*machine.Result, string) {
-	var ent entryFile
-	if err := json.Unmarshal(data, &ent); err != nil {
-		return nil, "undecodable entry: " + err.Error()
+	res, reason, stale := s.verifyEntry(keyDigest, data)
+	if reason != "" {
+		return nil, reason
 	}
-	if ent.Format != FormatVersion {
-		return nil, fmt.Sprintf("format %d, want %d", ent.Format, FormatVersion)
-	}
-	if ent.SimDigest != s.simDigest {
+	if stale {
 		return nil, "simulator digest mismatch"
 	}
+	return res, ""
+}
+
+// verifyEntry runs the full verification pass over one entry's bytes:
+// format version, key digest, payload checksum, and result decode.
+// reason is non-empty for intrinsic corruption; stale flags an entry
+// that is internally sound but produced by a different simulator binary
+// — wrong for this reader, not damaged (Get treats it as a failure so a
+// rebuilt binary re-simulates; the scrubber leaves it in place).
+func (s *Store) verifyEntry(keyDigest string, data []byte) (res *machine.Result, reason string, stale bool) {
+	var ent entryFile
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, "undecodable entry: " + err.Error(), false
+	}
+	if ent.Format != FormatVersion {
+		return nil, fmt.Sprintf("format %d, want %d", ent.Format, FormatVersion), false
+	}
 	if ent.KeyDigest != keyDigest {
-		return nil, "key digest mismatch"
+		return nil, "key digest mismatch", false
 	}
 	sum := sha256.Sum256(ent.Result)
 	if hex.EncodeToString(sum[:]) != ent.Checksum {
-		return nil, "payload checksum mismatch"
+		return nil, "payload checksum mismatch", false
 	}
-	var res machine.Result
-	if err := json.Unmarshal(ent.Result, &res); err != nil {
-		return nil, "undecodable result: " + err.Error()
+	var r machine.Result
+	if err := json.Unmarshal(ent.Result, &r); err != nil {
+		return nil, "undecodable result: " + err.Error(), false
 	}
-	return &res, ""
+	return &r, "", ent.SimDigest != s.simDigest
+}
+
+// ScrubFinding is one object a scrub pass quarantined.
+type ScrubFinding struct {
+	Digest string `json:"digest"`
+	Reason string `json:"reason"`
+}
+
+// ScrubReport summarizes one walk of the object tree.
+type ScrubReport struct {
+	// Scanned counts objects examined; Healthy verified completely.
+	Scanned int `json:"scanned"`
+	Healthy int `json:"healthy"`
+	// Stale objects are internally sound but written by a different
+	// simulator binary; they are left in place (staleness is relative to
+	// the reader — Get invalidates them lazily when a run cares).
+	Stale int `json:"stale"`
+	// Quarantined objects failed intrinsic verification (truncation,
+	// flipped bits, checksum or key mismatch) and were moved aside.
+	Quarantined int `json:"quarantined"`
+	// Bad lists the quarantined objects with their failure reasons.
+	Bad []ScrubFinding `json:"bad,omitempty"`
+}
+
+// Scrub walks every object in the store and re-runs the same
+// verification Get applies, quarantining intrinsic corruption — bit rot
+// is found proactively, at rest, instead of on first use. Entries from a
+// different simulator binary are counted stale but left alone. Safe to
+// run concurrently with readers and writers: verification works on a
+// read snapshot of each file and quarantine is an atomic rename.
+func (s *Store) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil
+		}
+		digest := strings.TrimSuffix(filepath.Base(path), ".json")
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil // vanished mid-walk (concurrent quarantine/rewrite)
+		}
+		rep.Scanned++
+		_, reason, stale := s.verifyEntry(digest, data)
+		switch {
+		case reason != "":
+			s.quarantine(path, digest)
+			rep.Quarantined++
+			rep.Bad = append(rep.Bad, ScrubFinding{Digest: digest, Reason: reason})
+		case stale:
+			rep.Stale++
+		default:
+			rep.Healthy++
+		}
+		return nil
+	})
+	return rep, err
+}
+
+// QuarantineObject moves the entry for keyDigest (if present) into
+// quarantine/, reporting whether an object was there to move. Used when
+// an authority above the store — a verification quorum — establishes
+// that a stored value, though internally consistent, is wrong.
+func (s *Store) QuarantineObject(keyDigest string) bool {
+	path := s.objectPath(keyDigest)
+	if _, err := os.Stat(path); err != nil {
+		return false
+	}
+	s.quarantine(path, keyDigest)
+	return true
 }
 
 // quarantine moves a failed entry aside so the next Put can rewrite the

@@ -267,6 +267,19 @@ type ServeOptions struct {
 	// TLS.
 	TLSCertFile string
 	TLSKeyFile  string
+	// VerifyFraction is the fraction of cells (deterministically
+	// sampled by digest) the coordinator re-executes on VerifyQuorum
+	// independent workers before admitting a result, quarantining
+	// workers whose answers diverge. 0 disables verification; 1
+	// verifies every cell.
+	VerifyFraction float64
+	// VerifyQuorum is the number of independent executions a verified
+	// cell needs (default and minimum 2).
+	VerifyQuorum int
+	// ScrubInterval, when positive, makes the coordinator periodically
+	// re-verify every stored object at rest, quarantine corruption,
+	// and resubmit the damaged cells for re-simulation.
+	ScrubInterval time.Duration
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -287,12 +300,15 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) error {
 		}
 	}
 	return campaign.Serve(ctx, addr, campaign.Options{
-		Store:       st,
-		LeaseTTL:    opts.LeaseTTL,
-		AuthToken:   opts.AuthToken,
-		TLSCertFile: opts.TLSCertFile,
-		TLSKeyFile:  opts.TLSKeyFile,
-		Logf:        opts.Logf,
+		Store:          st,
+		LeaseTTL:       opts.LeaseTTL,
+		AuthToken:      opts.AuthToken,
+		TLSCertFile:    opts.TLSCertFile,
+		TLSKeyFile:     opts.TLSKeyFile,
+		VerifyFraction: opts.VerifyFraction,
+		VerifyQuorum:   opts.VerifyQuorum,
+		ScrubInterval:  opts.ScrubInterval,
+		Logf:           opts.Logf,
 	})
 }
 
@@ -310,6 +326,8 @@ func CoordinatorHandler(opts ServeOptions) (http.Handler, func(), error) {
 	}
 	c := campaign.NewCoordinator(campaign.Options{
 		Store: st, LeaseTTL: opts.LeaseTTL, AuthToken: opts.AuthToken, Logf: opts.Logf,
+		VerifyFraction: opts.VerifyFraction, VerifyQuorum: opts.VerifyQuorum,
+		ScrubInterval: opts.ScrubInterval,
 	})
 	return c.Handler(), c.Close, nil
 }
