@@ -1,0 +1,394 @@
+package machine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"secmgpu/internal/interconnect"
+	"secmgpu/internal/sim"
+)
+
+// parRun coordinates a partitioned (parallel) simulation run: one worker
+// goroutine per partition engine, advancing in conservative windows.
+//
+// Each window, every partition executes its local events up to the shared
+// horizon W = (minimum next pending cycle across partitions) + lookahead,
+// where the lookahead is the fabric's minimum link latency. Sends are
+// deferred by the partition fabric views, so partitions cannot causally
+// affect each other inside a window; at the window barrier the views'
+// deferred sends replay on the canonical fabric in exact sequential
+// order, and the resulting deliveries — all at or beyond W, by the
+// lookahead bound — are scheduled into their destination partitions with
+// the ordering keys the sequential kernel would have assigned. See
+// sim/parallel.go for how those keys reconstruct the sequential
+// (cycle, sequence) order bit for bit.
+//
+// Termination is the delicate part. The sequential kernel stops at the
+// exact event that retires the last GPU's last operation; events later in
+// (cycle, sequence) order never run, and some of them mutate observable
+// state (histograms, endpoint counters), so over-executing them would
+// break bit-identity. A partition therefore pauses whenever one of its
+// GPUs finishes (noteFinish), and the coordinator runs finish-capable
+// partitions in rounds: a round's member either completes its window (its
+// GPUs live on — no global stop can occur this window, because that live
+// GPU still has operations to retire in a later window) or pauses having
+// recorded a finish. When the window's finishes account for every
+// remaining GPU, the globally last finish F* is the sequential stop
+// point: every partition then runs exactly the events ordered at or
+// before F* and the run ends at F*'s cycle. Otherwise the rounds'
+// finishes are subtracted and the window completes normally — safe,
+// because the eventual stop point lies in a later window, at or beyond
+// this window's horizon, so everything under W runs sequentially too.
+type parRun struct {
+	sys     *System
+	engines []*sim.Engine
+	parts   []*partition
+	look    sim.Cycle
+
+	nextRank uint64
+	merger   sim.Merger
+	logs     [][]sim.LogEntry
+	effs     [][]interconnect.SendRec
+	effCur   []int
+	batch    []*partition
+
+	wg sync.WaitGroup
+}
+
+// partition is one worker's state. Between dispatches the coordinator
+// owns all fields; during a dispatch the owning worker does (dispatch and
+// completion synchronize through the job channel and the WaitGroup).
+type partition struct {
+	id   int
+	eng  *sim.Engine
+	view *interconnect.Fabric
+
+	// liveGPUs counts this partition's GPUs still retiring operations;
+	// finishes records the window-log indices of finish events observed
+	// in the current window.
+	liveGPUs int
+	finishes []uint64
+
+	ranDone bool
+	paused  bool
+
+	jobs  chan func()
+	err   error
+	pan   any
+	stack []byte
+}
+
+func newParRun(s *System) *parRun {
+	pr := &parRun{
+		sys:      s,
+		engines:  s.engines,
+		look:     s.fabric.Lookahead(),
+		nextRank: sim.RankBase,
+		logs:     make([][]sim.LogEntry, len(s.engines)),
+		effs:     make([][]interconnect.SendRec, len(s.engines)),
+		effCur:   make([]int, len(s.engines)),
+	}
+	for p := range s.engines {
+		pr.parts = append(pr.parts, &partition{
+			id:   p,
+			eng:  s.engines[p],
+			view: s.views[p],
+			jobs: make(chan func(), 1),
+		})
+	}
+	for _, n := range s.nodes {
+		if !n.id.IsCPU() && !n.done {
+			pr.parts[s.partOf[n.id]].liveGPUs++
+		}
+	}
+	return pr
+}
+
+// noteFinish is called from a partition worker when one of its GPUs
+// retires its last operation. It records the finish and pauses the
+// partition at that exact event: whether this finish is the global stop
+// point can only be decided against the other partitions' logs at the
+// barrier, and running past it speculatively would execute events the
+// sequential kernel might never reach.
+func (pr *parRun) noteFinish(n *node) {
+	p := pr.parts[pr.sys.partOf[n.id]]
+	p.finishes = append(p.finishes, n.eng.CurrentIdx())
+	p.liveGPUs--
+	n.eng.RequestPause()
+}
+
+// runOn dispatches job to every partition in batch and waits for all.
+func (pr *parRun) runOn(batch []*partition, job func(p *partition)) {
+	pr.wg.Add(len(batch))
+	for _, p := range batch {
+		p := p
+		p.jobs <- func() { job(p) }
+	}
+	pr.wg.Wait()
+}
+
+func (pr *parRun) worker(p *partition) {
+	for job := range p.jobs {
+		pr.runJob(p, job)
+	}
+}
+
+func (pr *parRun) runJob(p *partition, job func()) {
+	defer pr.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.pan = r
+			p.stack = debug.Stack()
+		}
+	}()
+	job()
+}
+
+// check surfaces partition failures after a dispatch. Handler panics are
+// re-raised on the coordinator goroutine: they are invariant violations
+// and must stay as loud as they are on the sequential kernel.
+func (pr *parRun) check() error {
+	for _, p := range pr.parts {
+		if p.pan != nil {
+			panic(fmt.Sprintf("machine: partition %d: %v\n%s", p.id, p.pan, p.stack))
+		}
+	}
+	for _, p := range pr.parts {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return nil
+}
+
+// run executes the window loop to completion, returning the final cycle.
+func (pr *parRun) run() (sim.Cycle, error) {
+	for _, p := range pr.parts {
+		go pr.worker(p)
+	}
+	defer func() {
+		for _, p := range pr.parts {
+			close(p.jobs)
+		}
+	}()
+
+	for {
+		minNext := sim.MaxCycle
+		for _, p := range pr.parts {
+			if at, ok := p.eng.NextAt(); ok && at < minNext {
+				minNext = at
+			}
+		}
+		if minNext == sim.MaxCycle {
+			// Drained with GPUs unfinished (RunContext reports it); the
+			// sequential kernel's drained Run likewise returns its last
+			// executed cycle.
+			var end sim.Cycle
+			for _, p := range pr.parts {
+				if now := p.eng.Now(); now > end {
+					end = now
+				}
+			}
+			return end, nil
+		}
+		w := minNext + pr.look
+
+		// Phase A: finish-capable partitions run in rounds with
+		// finish-pause. Each round a member either completes its window
+		// or pauses at a new finish, so the rounds terminate after at
+		// most 1 + (finishes this window) iterations.
+		for {
+			batch := pr.batch[:0]
+			for _, p := range pr.parts {
+				if p.ranDone || p.liveGPUs <= 0 {
+					continue
+				}
+				if at, ok := p.eng.NextAt(); ok && at < w {
+					batch = append(batch, p)
+				} else {
+					p.ranDone = true
+				}
+			}
+			pr.batch = batch
+			if len(batch) == 0 {
+				break
+			}
+			pr.runOn(batch, func(p *partition) {
+				paused, err := p.eng.RunWindow(w)
+				p.paused = paused
+				if err != nil && p.err == nil {
+					p.err = err
+				}
+			})
+			if err := pr.check(); err != nil {
+				return 0, err
+			}
+			for _, p := range batch {
+				if !p.paused {
+					p.ranDone = true
+				}
+			}
+		}
+
+		totalFin := 0
+		for _, p := range pr.parts {
+			totalFin += len(p.finishes)
+		}
+		if totalFin > 0 && totalFin == pr.sys.remaining {
+			end, err := pr.finishRun()
+			if err != nil {
+				return 0, err
+			}
+			pr.sys.remaining = 0
+			return end, nil
+		}
+		pr.sys.remaining -= totalFin
+
+		// Phase B: the rest of the window — partitions whose GPUs are all
+		// done (none can pause: finishes are the only pause source).
+		batch := pr.batch[:0]
+		for _, p := range pr.parts {
+			if p.ranDone {
+				continue
+			}
+			if at, ok := p.eng.NextAt(); ok && at < w {
+				batch = append(batch, p)
+			}
+		}
+		pr.batch = batch
+		if len(batch) > 0 {
+			pr.runOn(batch, func(p *partition) {
+				if _, err := p.eng.RunWindow(w); err != nil && p.err == nil {
+					p.err = err
+				}
+			})
+			if err := pr.check(); err != nil {
+				return 0, err
+			}
+		}
+
+		if err := pr.barrier(); err != nil {
+			return 0, err
+		}
+		for _, p := range pr.parts {
+			p.ranDone = false
+			p.paused = false
+			p.finishes = p.finishes[:0]
+		}
+	}
+}
+
+// finishRun executes the stop window's tail. Every remaining GPU finished
+// inside this window, so the globally last finish event F* is the exact
+// point where the sequential kernel stops: partitions (each paused at its
+// own last finish, or not yet run this window) execute precisely the
+// events ordered at or before F*, and the run ends at F*'s cycle. The
+// final barrier still replays the window's deferred sends — the
+// sequential kernel resolved those sends inline before stopping, so the
+// fabric accounting must include them (their deliveries stay unexecuted,
+// exactly as sequential stop leaves scheduled deliveries unexecuted).
+func (pr *parRun) finishRun() (sim.Cycle, error) {
+	for i, p := range pr.parts {
+		pr.logs[i] = p.eng.WindowLog()
+	}
+	fp := -1
+	var fe sim.LogEntry
+	for i, p := range pr.parts {
+		for _, idx := range p.finishes {
+			e := pr.logs[i][idx]
+			if fp < 0 || sim.CompareLogged(pr.logs, i, e, fp, fe) > 0 {
+				fp, fe = i, e
+			}
+		}
+	}
+	pr.runOn(pr.parts, func(p *partition) {
+		// The bound compares the heap head against F* under the window
+		// logs. Other partitions' logs are read through the pre-phase
+		// snapshot headers — only their already-published prefixes are
+		// ever consulted (F*'s ancestry), and published entries are
+		// immutable — while the partition's own log must be re-read live
+		// on every call, because its own execution appends to it and may
+		// reallocate the backing array.
+		logs := make([][]sim.LogEntry, len(pr.logs))
+		copy(logs, pr.logs)
+		within := func(at sim.Cycle, key uint64) bool {
+			logs[p.id] = p.eng.WindowLog()
+			return sim.CompareLogged(logs, p.id, sim.LogEntry{At: at, Key: key}, fp, fe) <= 0
+		}
+		if _, err := p.eng.RunWindowBounded(within); err != nil && p.err == nil {
+			p.err = err
+		}
+	})
+	if err := pr.check(); err != nil {
+		return 0, err
+	}
+	if err := pr.barrier(); err != nil {
+		return 0, err
+	}
+	return fe.At, nil
+}
+
+// barrier closes a window, single-threaded between dispatches: the
+// partition logs merge into dense global ranks, fresh keys still queued
+// are restamped to their final stamped form, and the window's deferred
+// sends replay on the canonical fabric in ascending global key order —
+// evolving the FIFO stages and traffic statistics exactly as the
+// sequential kernel's inline sends would, and scheduling each delivery
+// into its destination partition beyond the horizon.
+func (pr *parRun) barrier() error {
+	pr.nextRank = pr.merger.Merge(pr.engines, pr.nextRank)
+	for _, e := range pr.engines {
+		e.Restamp()
+	}
+	for i, p := range pr.parts {
+		recs := p.view.Effects()
+		for j := range recs {
+			recs[j].Key = sim.DeliveryKey(p.eng.RankAt(recs[j].IssIdx), recs[j].K)
+		}
+		pr.effs[i] = recs
+		pr.effCur[i] = 0
+	}
+	// Each view's records are already in ascending key order (ranks are
+	// monotone in local execution order, K in issue order), so a cursor
+	// merge replays the global send order.
+	for {
+		best := -1
+		for i := range pr.effs {
+			if pr.effCur[i] >= len(pr.effs[i]) {
+				continue
+			}
+			if best < 0 || pr.effs[i][pr.effCur[i]].Key < pr.effs[best][pr.effCur[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		pr.sys.fabric.Replay(&pr.effs[best][pr.effCur[best]])
+		pr.effCur[best]++
+	}
+	for _, p := range pr.parts {
+		p.view.ResetEffects()
+		p.eng.ResetWindow()
+	}
+	// The sequential kernel bounds total processed events; partitions
+	// bound their own windows, and the coordinator enforces the global
+	// budget across engines here.
+	if lim := pr.sys.opt.EventLimit; lim > 0 {
+		var total uint64
+		for _, e := range pr.engines {
+			total += e.Processed()
+		}
+		if total > lim {
+			var now sim.Cycle
+			for _, e := range pr.engines {
+				if e.Now() > now {
+					now = e.Now()
+				}
+			}
+			return fmt.Errorf("sim: event limit %d exceeded at cycle %d", lim, now)
+		}
+	}
+	return nil
+}

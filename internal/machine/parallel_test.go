@@ -1,0 +1,186 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"secmgpu/internal/config"
+	"secmgpu/internal/workload"
+)
+
+// resultDigest reduces a Result to a comparable byte string covering every
+// exported field (histograms and series marshal their full contents).
+func resultDigest(t *testing.T, res *Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// parallelConfigs are the topology shapes the bit-identity stress covers:
+// the degenerate pair, small p2p, and switch-routed mid/large systems.
+func parallelConfigs() []config.Config {
+	shapes := []struct {
+		gpus     int
+		switched bool
+	}{{2, false}, {4, false}, {8, true}, {16, true}}
+	var cfgs []config.Config
+	for _, sh := range shapes {
+		cfg := config.Default(sh.gpus)
+		cfg.Secure = true
+		cfg.Scheme = config.OTPDynamic
+		cfg.SwitchTopology = sh.switched
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestParallelMatchesSequential is the parallel kernel's acceptance
+// invariant: for every topology shape and every worker count, the full
+// result — cycles, traffic bytes, per-category accounting, OTP and
+// endpoint statistics, burst histograms, migrations — is byte-identical
+// to the sequential kernel's.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, cfg := range parallelConfigs() {
+		cfg := cfg
+		name := fmt.Sprintf("gpus=%d/%s", cfg.NumGPUs, topologyOf(cfg))
+		t.Run(name, func(t *testing.T) {
+			ops := 600
+			if testing.Short() && cfg.NumGPUs > 8 {
+				ops = 200
+			}
+			traces := allTraces(cfg.NumGPUs, ops, 20, 4)
+			want := resultDigest(t, run(t, cfg, traces, RunOptions{Workers: 1}))
+			for _, workers := range []int{2, 4, 8} {
+				if workers > cfg.NumGPUs {
+					continue
+				}
+				got := resultDigest(t, run(t, cfg, traces, RunOptions{Workers: workers}))
+				if got != want {
+					t.Errorf("workers=%d diverged from sequential result\nseq: %.200s\npar: %.200s",
+						workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialTraced covers the communication-series
+// path: per-interval tickers run on partition engines and must flush at
+// identical cycles.
+func TestParallelMatchesSequentialTraced(t *testing.T) {
+	cfg := config.Default(8)
+	cfg.Secure = true
+	cfg.Scheme = config.OTPDynamic
+	cfg.SwitchTopology = true
+	traces := allTraces(cfg.NumGPUs, 400, 25, 3)
+	opt := RunOptions{TraceComms: true, TraceInterval: 5000}
+	optSeq := opt
+	optSeq.Workers = 1
+	want := resultDigest(t, run(t, cfg, traces, optSeq))
+	optPar := opt
+	optPar.Workers = 4
+	got := resultDigest(t, run(t, cfg, traces, optPar))
+	if got != want {
+		t.Errorf("traced parallel run diverged from sequential\nseq: %.200s\npar: %.200s", want, got)
+	}
+}
+
+// TestParallelSeeds sweeps seeds and worker counts on a mid-size switch
+// topology, varying trace shapes so window boundaries land differently
+// relative to finishes, migrations, and OTP refills.
+func TestParallelSeeds(t *testing.T) {
+	cfg := config.Default(8)
+	cfg.Secure = true
+	cfg.Scheme = config.OTPDynamic
+	cfg.SwitchTopology = true
+	for seed := 0; seed < 3; seed++ {
+		traces := make([][]workload.Op, cfg.NumGPUs)
+		for g := 1; g <= cfg.NumGPUs; g++ {
+			// Uneven lengths and gaps: GPUs finish far apart, exercising
+			// the finish-pause rounds and the F*-bounded stop window.
+			count := 300 + 150*((g+seed)%3)
+			gap := uint32(10 + 7*((g+seed)%4))
+			traces[g-1] = synthTrace(g, cfg.NumGPUs, count, gap, 3+seed)
+		}
+		want := resultDigest(t, run(t, cfg, traces, RunOptions{Workers: 1}))
+		for _, workers := range []int{2, 3, 8} {
+			got := resultDigest(t, run(t, cfg, traces, RunOptions{Workers: workers}))
+			if got != want {
+				t.Errorf("seed=%d workers=%d diverged from sequential", seed, workers)
+			}
+		}
+	}
+}
+
+// TestParallelForcedSequentialProfiles verifies fault and outage profiles
+// refuse the parallel kernel: their watchdog and RNG paths are defined
+// against a single global event order.
+func TestParallelForcedSequentialProfiles(t *testing.T) {
+	cfg := config.Default(8)
+	cfg.Secure = true
+	cfg.Recovery = true
+	cfg.ResyncThreshold = 4
+	cfg.Faults.DropRate = 0.01
+	cfg.Faults.Seed = 7
+	if w, tok := resolveWorkers(8, cfg); w != 1 || tok != 0 {
+		t.Errorf("fault profile resolved to workers=%d tokens=%d, want sequential", w, tok)
+	}
+	sys, err := New(cfg, allTraces(cfg.NumGPUs, 100, 20, 4), RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(sys.engines) != 0 {
+		t.Error("fault profile built a partitioned engine group")
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestResolveWorkers pins the kernel-selection heuristic.
+func TestResolveWorkers(t *testing.T) {
+	cfg := config.Default(16)
+	if w, _ := resolveWorkers(1, cfg); w != 1 {
+		t.Errorf("explicit 1 -> %d", w)
+	}
+	if w, _ := resolveWorkers(64, cfg); w != 16 {
+		t.Errorf("explicit 64 should clamp to GPU count, got %d", w)
+	}
+	small := config.Default(4)
+	if w, _ := resolveWorkers(0, small); w != 1 {
+		t.Errorf("auto on 4 GPUs -> %d, want sequential", w)
+	}
+}
+
+// TestWorkerTokenBudget verifies the process-wide budget: auto kernels
+// degrade toward sequential when tokens run out and return them after.
+func TestWorkerTokenBudget(t *testing.T) {
+	got := acquireWorkerTokens(1 << 30)
+	if got <= 0 {
+		t.Fatalf("budget exhausted at test start: got %d", got)
+	}
+	// Budget fully drained: an auto-resolved kernel must fall back to
+	// sequential rather than oversubscribe.
+	cfg := config.Default(16)
+	if w, tok := resolveWorkers(0, cfg); w != 1 || tok != 0 {
+		t.Errorf("auto with drained budget resolved workers=%d tokens=%d", w, tok)
+	}
+	releaseWorkerTokens(got)
+	w, tok := resolveWorkers(0, cfg)
+	if runtime.GOMAXPROCS(0) < 2 {
+		// Single-CPU host: auto must keep choosing sequential.
+		if w != 1 || tok != 0 {
+			t.Errorf("auto on 1 CPU resolved workers=%d tokens=%d", w, tok)
+		}
+		return
+	}
+	if w < 2 || tok != w-1 {
+		t.Errorf("auto with free budget resolved workers=%d tokens=%d", w, tok)
+	}
+	releaseWorkerTokens(tok)
+}

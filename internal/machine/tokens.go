@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"runtime"
+	"sync"
+
+	"secmgpu/internal/config"
+)
+
+// workerBudget is the process-wide simulation worker-token pool. When the
+// sweep engine runs many cells concurrently and each cell would also like
+// a parallel kernel, unbounded multiplication (cells x workers) would
+// oversubscribe the host. Auto-selected kernels (Workers == 0) draw their
+// extra workers from this budget and fall back toward sequential when it
+// is exhausted; explicitly requested worker counts bypass it, since the
+// caller asked for an exact shape (benchmarks, determinism tests).
+var workerBudget = struct {
+	sync.Mutex
+	used int
+}{}
+
+// acquireWorkerTokens grants up to n tokens without blocking and returns
+// how many were granted. The capacity is GOMAXPROCS: one token per extra
+// worker goroutine beyond the caller's own.
+func acquireWorkerTokens(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	capacity := runtime.GOMAXPROCS(0)
+	workerBudget.Lock()
+	defer workerBudget.Unlock()
+	free := capacity - workerBudget.used
+	if free <= 0 {
+		return 0
+	}
+	if n > free {
+		n = free
+	}
+	workerBudget.used += n
+	return n
+}
+
+// releaseWorkerTokens returns tokens to the pool.
+func releaseWorkerTokens(n int) {
+	if n <= 0 {
+		return
+	}
+	workerBudget.Lock()
+	workerBudget.used -= n
+	if workerBudget.used < 0 {
+		workerBudget.used = 0
+	}
+	workerBudget.Unlock()
+}
+
+// resolveWorkers turns the RunOptions.Workers request into a concrete
+// partition count plus the number of budget tokens held (released when the
+// run finishes). Fault and outage profiles force the sequential kernel:
+// their watchdog and RNG paths are defined against a single engine-global
+// event order.
+func resolveWorkers(requested int, cfg config.Config) (workers, tokens int) {
+	if cfg.Faults.Active() || cfg.Outages.Active() {
+		return 1, 0
+	}
+	if requested == 1 {
+		return 1, 0
+	}
+	if requested > 0 {
+		// Explicit request: honour it, clamped to one partition per GPU,
+		// bypassing the shared budget.
+		if requested > cfg.NumGPUs {
+			requested = cfg.NumGPUs
+		}
+		return requested, 0
+	}
+	// Auto: small topologies aren't worth the window-barrier overhead.
+	if cfg.NumGPUs < 8 {
+		return 1, 0
+	}
+	w := (cfg.NumGPUs + 1) / 2
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w <= 1 {
+		return 1, 0
+	}
+	got := acquireWorkerTokens(w - 1)
+	return 1 + got, got
+}

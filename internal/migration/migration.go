@@ -5,7 +5,11 @@
 // access and page migration (Section II-A).
 package migration
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // PageID identifies a 4KB page in the unified address space.
 type PageID uint64
@@ -13,38 +17,66 @@ type PageID uint64
 // Node mirrors interconnect.NodeID without importing it; 0 is the CPU.
 type Node int
 
-// Policy tracks page ownership and per-(page, accessor) counters.
-type Policy struct {
-	threshold int
-	// owner maps migrated pages to their current owner; pages absent
-	// from the map live at their home node (encoded in the address).
-	owner map[PageID]Node
-	// counters counts accesses since last migration, keyed by page and
-	// accessor.
-	counters map[pageAccessor]int
+// numShards is the page-table shard count. Sharding exists for the
+// parallel simulation kernel: partitions running on worker goroutines
+// consult the policy concurrently, and per-shard locks keep the lookup
+// path uncontended. Determinism is unaffected — conflicting operations on
+// the same page are always separated by at least a fabric round-trip, so
+// the barrier protocol orders them identically to the sequential kernel;
+// the locks only protect map structure, never arbitration.
+const numShards = 128
 
-	migrations uint64
+// Policy tracks page ownership and per-(page, accessor) counters. It is
+// safe for concurrent use by the parallel kernel's partitions.
+type Policy struct {
+	threshold  int
+	shards     [numShards]shard
+	migrations atomic.Uint64
 }
 
-type pageAccessor struct {
-	page PageID
-	node Node
+type shard struct {
+	mu    sync.RWMutex
+	pages map[PageID]*pageState
+}
+
+// pageState is one page's migration state. The common case is a single
+// remote accessor (the address layout gives each (requester, home) pair a
+// private page pool), stored inline; further accessors overflow to a map.
+type pageState struct {
+	owner    Node
+	hasOwner bool
+	cNode    Node
+	cCount   int
+	overflow map[Node]int
+}
+
+func (p *Policy) shardOf(page PageID) *shard {
+	return &p.shards[(uint64(page)*0x9E3779B97F4A7C15)>>57&(numShards-1)]
 }
 
 // NewPolicy builds an access-counter migration policy. threshold <= 0
 // disables migration entirely (pure direct block access).
 func NewPolicy(threshold int) *Policy {
-	return &Policy{
-		threshold: threshold,
-		owner:     make(map[PageID]Node),
-		counters:  make(map[pageAccessor]int),
+	p := &Policy{threshold: threshold}
+	for i := range p.shards {
+		p.shards[i].pages = make(map[PageID]*pageState)
 	}
+	return p
 }
 
 // Owner returns the page's current owner given its home node.
 func (p *Policy) Owner(page PageID, home Node) Node {
-	if o, ok := p.owner[page]; ok {
-		return o
+	s := p.shardOf(page)
+	s.mu.RLock()
+	st := s.pages[page]
+	var owner Node
+	ok := st != nil && st.hasOwner
+	if ok {
+		owner = st.owner
+	}
+	s.mu.RUnlock()
+	if ok {
+		return owner
 	}
 	return home
 }
@@ -56,38 +88,70 @@ func (p *Policy) RecordAccess(page PageID, accessor, owner Node) (migrate bool) 
 	if accessor == owner || p.threshold <= 0 {
 		return false
 	}
-	key := pageAccessor{page, accessor}
-	p.counters[key]++
-	return p.counters[key] >= p.threshold
+	s := p.shardOf(page)
+	s.mu.Lock()
+	st := s.pages[page]
+	if st == nil {
+		st = &pageState{}
+		s.pages[page] = st
+	}
+	var c int
+	switch {
+	case st.cCount == 0 && st.overflow == nil, st.cNode == accessor:
+		st.cNode = accessor
+		st.cCount++
+		c = st.cCount
+	default:
+		if st.overflow == nil {
+			st.overflow = make(map[Node]int)
+		}
+		st.overflow[accessor]++
+		c = st.overflow[accessor]
+	}
+	s.mu.Unlock()
+	return c >= p.threshold
 }
 
 // Migrate transfers ownership of the page to the new owner, resetting its
 // counters. The caller is responsible for simulating the data movement and
 // shootdown cost.
 func (p *Policy) Migrate(page PageID, to Node, home Node) {
-	if to == home {
-		delete(p.owner, page)
-	} else {
-		p.owner[page] = to
+	s := p.shardOf(page)
+	s.mu.Lock()
+	st := s.pages[page]
+	if st == nil {
+		st = &pageState{}
+		s.pages[page] = st
 	}
-	for key := range p.counters {
-		if key.page == page {
-			delete(p.counters, key)
-		}
-	}
-	p.migrations++
+	st.hasOwner = to != home
+	st.owner = to
+	st.cCount = 0
+	st.overflow = nil
+	s.mu.Unlock()
+	p.migrations.Add(1)
 }
 
 // Migrations returns the number of migrations performed.
-func (p *Policy) Migrations() uint64 { return p.migrations }
+func (p *Policy) Migrations() uint64 { return p.migrations.Load() }
 
 // Threshold returns the configured access-count threshold.
 func (p *Policy) Threshold() int { return p.threshold }
 
 // String summarizes the policy state.
 func (p *Policy) String() string {
+	migrated := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		for _, st := range s.pages {
+			if st.hasOwner {
+				migrated++
+			}
+		}
+		s.mu.RUnlock()
+	}
 	return fmt.Sprintf("migration.Policy{threshold=%d, migrated=%d pages, total=%d migrations}",
-		p.threshold, len(p.owner), p.migrations)
+		p.threshold, migrated, p.Migrations())
 }
 
 // ShootdownCost is the TLB-shootdown stall in cycles charged to the

@@ -11,14 +11,28 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuPath (when non-empty) and arranges for a
-// heap profile to be written to memPath (when non-empty) by the returned
-// stop function. Stop is idempotent and safe to both defer and call before
-// os.Exit; with no paths set it is a no-op.
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// Options names the profile outputs to collect; empty paths are skipped.
+type Options struct {
+	// CPU receives a CPU profile covering Start..stop.
+	CPU string
+	// Mem receives a heap profile captured at stop.
+	Mem string
+	// Block receives a blocking profile (channel waits, barrier Wait)
+	// captured at stop. Enabling it samples every blocking event, which
+	// is how parallel-kernel window imbalance shows up.
+	Block string
+	// Mutex receives a contended-mutex profile captured at stop (the
+	// parallel kernel's sharded page-table locks, the worker budget).
+	Mutex string
+}
+
+// Start begins the configured profilers and returns the function that
+// stops them and writes the at-exit profiles. Stop is idempotent and safe
+// to both defer and call before os.Exit; with no paths set it is a no-op.
+func Start(opts Options) (stop func(), err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if opts.CPU != "" {
+		cpuFile, err = os.Create(opts.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
@@ -26,6 +40,12 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
 		}
+	}
+	if opts.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if opts.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	done := false
 	return func() {
@@ -37,19 +57,33 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
-				return
-			}
-			defer f.Close()
+		if opts.Mem != "" {
 			// Fold in anything still unswept so the numbers match the
 			// allocator's view.
 			runtime.GC()
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
-			}
+			writeProfile("heap", opts.Mem)
+		}
+		if opts.Block != "" {
+			writeProfile("block", opts.Block)
+			runtime.SetBlockProfileRate(0)
+		}
+		if opts.Mutex != "" {
+			writeProfile("mutex", opts.Mutex)
+			runtime.SetMutexProfileFraction(0)
 		}
 	}, nil
+}
+
+// writeProfile dumps one named runtime profile, reporting failures to
+// stderr (profiling must never fail the run it observes).
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "prof: write %s profile: %v\n", name, err)
+	}
 }

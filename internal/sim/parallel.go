@@ -1,0 +1,369 @@
+// Partitioned (parallel) kernel support: conservative PDES with exact
+// sequential-order reconstruction.
+//
+// An EngineGroup runs one Engine per partition on its own worker
+// goroutine. Each window, every partition executes its local events up to
+// a shared horizon W = min(next pending cycle across partitions) +
+// lookahead, where the lookahead is the minimum cross-partition link
+// latency: no message issued inside the window can arrive before W, so
+// partitions cannot causally affect each other mid-window.
+//
+// The hard requirement is bit-identical results versus the sequential
+// kernel, which orders same-cycle events by a global schedule-time
+// sequence number. That order is not observable during concurrent
+// execution, but it is reconstructible: the sequential sequence order of
+// two same-cycle events is exactly the lexicographic order of
+//
+//	(execution order of the event that scheduled them, intra-handler
+//	 schedule position k, sub-position within one fabric send)
+//
+// because sequence numbers are handed out at schedule-call time and
+// handlers execute disjointly. So instead of a counter, a partitioned
+// engine stamps every scheduled event with a key encoding that tuple:
+//
+//	bit 63        class: 0 = stamped (parent already globally ranked),
+//	              1 = fresh (parent executing in the current window)
+//	bits 62..14   parent's global rank (stamped) or the parent's index in
+//	              this window's local execution log (fresh)
+//	bits 13..2    k, the intra-handler schedule counter (shared with
+//	              deferred fabric sends, preserving program order)
+//	bits  1..0    sub-position within one replayed fabric send
+//
+// Setup-time (pre-Run) events take ranks from a shared root counter below
+// rootRankCap; executed-event ranks start at rootRankCap, so roots sort
+// first — exactly like the sequential counter. Plain uint64 comparison
+// is correct for every same-partition pair and for any pair involving a
+// stamped key (a stamped parent executed before any parent still running
+// this window, and roots before everything). Only fresh-vs-fresh across
+// partitions needs more: CompareLogged recursively compares the parent
+// chains through the window logs, which terminates because parent cycles
+// or classes eventually differ.
+//
+// At each barrier the group k-way merges the per-partition execution logs
+// under that comparator, assigning dense global ranks in canonical
+// sequential order. Fresh keys still sitting in the heaps are then
+// restamped in place to (rank(parent), k) — a monotone rewrite, so heap
+// order is preserved without re-heapifying — and deferred cross-partition
+// effects are replayed in exact global (rank, k) order. The result is
+// that every observable ordering decision matches the sequential kernel
+// bit for bit, for any partition count and any window placement.
+package sim
+
+import "fmt"
+
+// Key encoding layout (see the package comment above).
+const (
+	keySubBits   = 2
+	keyKBits     = 12
+	keyRankShift = keySubBits + keyKBits
+	keyFresh     = uint64(1) << 63
+	keyMaxK      = uint64(1)<<keyKBits - 1
+	keyMaxSub    = uint64(1)<<keySubBits - 1
+
+	// rootRankCap bounds setup-scheduled event ranks; executed-event
+	// ranks assigned by Merger start at RankBase above it.
+	rootRankCap = uint64(1) << 20
+)
+
+// RankBase is the first global rank Merger assigns to executed events.
+// Setup-scheduled (root) events rank below it.
+const RankBase = rootRankCap
+
+// DeliveryKey builds the stamped key for an event scheduled by a replayed
+// cross-partition effect: the issuer's global rank and the intra-handler
+// position k of the issuing call. Sub-positions within one effect are
+// added directly (the low keySubBits are zero).
+func DeliveryKey(rank, k uint64) uint64 {
+	return rank<<keyRankShift | k<<keySubBits
+}
+
+// MaxDeliverySub is the largest sub-position DeliveryKey leaves room for.
+const MaxDeliverySub = keyMaxSub
+
+// LogEntry records one executed event: its cycle and ordering key, in
+// local execution order. The window logs are what barriers merge and what
+// CompareLogged walks to resolve fresh-vs-fresh ordering.
+type LogEntry struct {
+	At  Cycle
+	Key uint64
+}
+
+// parEngine is the per-partition state behind a partitioned engine.
+type parEngine struct {
+	// rootNext is the group-shared counter for setup-scheduled events.
+	// Setup is single-threaded, so a plain pointer suffices.
+	rootNext *uint64
+
+	// log is this window's execution log; ranks[i] is log[i]'s global
+	// rank once the barrier merge has run.
+	log   []LogEntry
+	ranks []uint64
+
+	// Handler context while an event executes: curIdx is its log index,
+	// nextK the intra-handler schedule counter shared between local
+	// schedules and deferred fabric sends.
+	inHandler bool
+	curIdx    uint64
+	nextK     uint64
+
+	pause           bool
+	windowProcessed uint64
+}
+
+// NewEngineGroup builds n partitioned engines sharing one root-event
+// counter. Setup (construction and pre-Run scheduling) must be
+// single-threaded and follow the same program order as the sequential
+// build, which is what makes root keys reproduce the sequential sequence
+// numbers.
+func NewEngineGroup(n int) []*Engine {
+	root := new(uint64)
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = &Engine{par: &parEngine{rootNext: root}}
+	}
+	return engines
+}
+
+// Partitioned reports whether the engine is a member of an EngineGroup.
+func (e *Engine) Partitioned() bool { return e.par != nil }
+
+// RequestPause makes the current RunWindow return after the executing
+// event's handler completes. The machine layer uses it to pause a
+// partition at the exact event that finished a node's trace, so the group
+// can decide whether the global stop point has been reached before anyone
+// over-executes.
+func (e *Engine) RequestPause() { e.par.pause = true }
+
+// CurrentIdx returns the executing event's index in this window's log.
+func (e *Engine) CurrentIdx() uint64 { return e.par.curIdx }
+
+// SendStamp allocates the next intra-handler schedule position for a
+// deferred cross-partition effect, returning the executing event's log
+// index and the position k. It must only be called while a handler runs.
+func (e *Engine) SendStamp() (idx, k uint64) {
+	p := e.par
+	if !p.inHandler {
+		panic("sim: SendStamp outside a handler")
+	}
+	k = p.nextK
+	if k > keyMaxK {
+		panic("sim: handler issued too many sends for the partitioned key encoding")
+	}
+	p.nextK++
+	return p.curIdx, k
+}
+
+// ScheduleStamped enqueues an event carrying an explicit, already-global
+// ordering key. Barrier replay uses it to deliver cross-partition
+// messages with the exact key the sequential kernel would have assigned.
+func (e *Engine) ScheduleStamped(at Cycle, h Handler, payload any, key uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: stamped schedule at cycle %d before now %d", at, e.now))
+	}
+	if h == nil {
+		panic("sim: stamped schedule with nil handler")
+	}
+	e.push(Event{At: at, Handler: h, Payload: payload, seq: key, slot: noSlot})
+}
+
+// NextAt reports the cycle of the engine's next live event.
+func (e *Engine) NextAt() (Cycle, bool) { return e.peek() }
+
+// WindowLog returns this window's execution log. The slice header is
+// live: the owning worker may append to it, but previously published
+// entries are never rewritten, so a snapshot taken at a synchronization
+// point stays valid.
+func (e *Engine) WindowLog() []LogEntry { return e.par.log }
+
+// RankAt returns the global rank assigned to this window's idx'th
+// executed event by the last Merger.Merge.
+func (e *Engine) RankAt(idx uint64) uint64 { return e.par.ranks[idx] }
+
+// RunWindow executes local events with cycle < limit, in local key order.
+// It returns paused=true if a handler called RequestPause (leaving the
+// remaining window runnable by a further RunWindow call), and an error if
+// the per-window event limit was exceeded or Check failed.
+func (e *Engine) RunWindow(limit Cycle) (paused bool, err error) {
+	p := e.par
+	for {
+		at, ok := e.peek()
+		if !ok || at >= limit {
+			return false, nil
+		}
+		if err := e.execOne(); err != nil {
+			return false, err
+		}
+		if p.pause {
+			p.pause = false
+			return true, nil
+		}
+	}
+}
+
+// RunWindowBounded executes local events while within(cycle, key) holds.
+// The machine layer uses it for the final window, where the bound is the
+// globally last finishing event rather than a plain cycle horizon.
+func (e *Engine) RunWindowBounded(within func(at Cycle, key uint64) bool) (paused bool, err error) {
+	p := e.par
+	for {
+		head, ok := e.peekEvent()
+		if !ok || !within(head.At, head.seq) {
+			return false, nil
+		}
+		if err := e.execOne(); err != nil {
+			return false, err
+		}
+		if p.pause {
+			p.pause = false
+			return true, nil
+		}
+	}
+}
+
+// execOne pops and handles the next event, logging it for the barrier
+// merge and establishing the handler key context.
+func (e *Engine) execOne() error {
+	p := e.par
+	ev := e.take()
+	if ev.At < e.now {
+		panic("sim: event heap time regression")
+	}
+	e.now = ev.At
+	e.processed++
+	p.windowProcessed++
+	if e.EventLimit > 0 && p.windowProcessed > e.EventLimit {
+		return fmt.Errorf("sim: event limit %d exceeded at cycle %d", e.EventLimit, e.now)
+	}
+	if e.Check != nil && e.processed%checkInterval == 0 {
+		if err := e.Check(); err != nil {
+			return err
+		}
+	}
+	p.curIdx = uint64(len(p.log))
+	p.log = append(p.log, LogEntry{At: ev.At, Key: ev.seq})
+	p.inHandler = true
+	p.nextK = 0
+	ev.Handler.Handle(ev)
+	p.inHandler = false
+	return nil
+}
+
+// peekEvent retires cancelled timers at the head and returns a pointer to
+// the next live event (valid until the next queue mutation).
+func (e *Engine) peekEvent() (*Event, bool) {
+	if _, ok := e.peek(); !ok {
+		return nil, false
+	}
+	return &e.queue[0], true
+}
+
+// Restamp rewrites every fresh key still queued to its final stamped form
+// using the ranks assigned by the barrier merge. The rewrite is monotone
+// with respect to the existing heap order — ranks increase with local
+// execution index, and restamped events stay above every stamped key
+// already in the heap — so the heap remains valid without re-sifting.
+func (e *Engine) Restamp() {
+	p := e.par
+	for i := range e.queue {
+		key := e.queue[i].seq
+		if key&keyFresh == 0 {
+			continue
+		}
+		idx := (key &^ keyFresh) >> keyRankShift
+		low := key & (keyMaxK<<keySubBits | keyMaxSub)
+		e.queue[i].seq = p.ranks[idx]<<keyRankShift | low
+	}
+}
+
+// ResetWindow clears the window log and handler state for the next
+// window, keeping capacity.
+func (e *Engine) ResetWindow() {
+	p := e.par
+	p.log = p.log[:0]
+	p.ranks = p.ranks[:0]
+	p.windowProcessed = 0
+	p.pause = false
+}
+
+// CompareLogged orders two executed (or about-to-execute) events from
+// partitions pa and pb under the canonical sequential order, consulting
+// the window logs to resolve fresh-vs-fresh pairs across partitions. The
+// entries need not be in the logs themselves, but every fresh ancestor
+// they reference must be.
+func CompareLogged(logs [][]LogEntry, pa int, ea LogEntry, pb int, eb LogEntry) int {
+	for {
+		if ea.At != eb.At {
+			if ea.At < eb.At {
+				return -1
+			}
+			return 1
+		}
+		ka, kb := ea.Key, eb.Key
+		if pa == pb || ka&keyFresh == 0 || kb&keyFresh == 0 {
+			// Same-partition pairs and any pair involving a stamped key
+			// order numerically: stamped ranks are global, fresh local
+			// indices follow local execution order, and a stamped parent
+			// always precedes a parent still executing this window (the
+			// class bit encodes exactly that).
+			switch {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			default:
+				return 0
+			}
+		}
+		// Fresh vs fresh across partitions: order follows the parents'
+		// order (distinct parents, so k never tie-breaks). Walk up both
+		// chains; local indices strictly decrease, so this terminates at
+		// a stamped ancestor or a cycle difference.
+		ea = logs[pa][(ka&^keyFresh)>>keyRankShift]
+		eb = logs[pb][(kb&^keyFresh)>>keyRankShift]
+	}
+}
+
+// Merger assigns global ranks to a window's executed events across an
+// engine group. The buffers are reused across windows.
+type Merger struct {
+	cur  []int
+	logs [][]LogEntry
+}
+
+// Merge k-way merges the group's window logs under the canonical order,
+// filling each engine's rank table and returning the next unassigned
+// rank. Each partition's log is already sorted under the global
+// comparator (local execution order restricted to one partition is the
+// global order), so a cursor merge is exact.
+func (m *Merger) Merge(engines []*Engine, nextRank uint64) uint64 {
+	n := len(engines)
+	m.cur = m.cur[:0]
+	m.logs = m.logs[:0]
+	total := 0
+	for _, e := range engines {
+		p := e.par
+		m.cur = append(m.cur, 0)
+		m.logs = append(m.logs, p.log)
+		total += len(p.log)
+		if cap(p.ranks) < len(p.log) {
+			p.ranks = make([]uint64, len(p.log))
+		} else {
+			p.ranks = p.ranks[:len(p.log)]
+		}
+	}
+	for done := 0; done < total; done++ {
+		best := -1
+		for p := 0; p < n; p++ {
+			if m.cur[p] >= len(m.logs[p]) {
+				continue
+			}
+			if best < 0 || CompareLogged(m.logs, p, m.logs[p][m.cur[p]], best, m.logs[best][m.cur[best]]) < 0 {
+				best = p
+			}
+		}
+		engines[best].par.ranks[m.cur[best]] = nextRank
+		m.cur[best]++
+		nextRank++
+	}
+	return nextRank
+}

@@ -46,6 +46,12 @@ type RunInfo struct {
 	Scale     float64  `json:"scale,omitempty"`
 	Seed      int64    `json:"seed,omitempty"`
 	Workloads []string `json:"workloads,omitempty"`
+	// SimWorkers is the requested simulation kernel (0 auto, 1
+	// sequential, >1 partitioned). Results are bit-identical across
+	// kernels, but a resume that silently switched kernel configuration
+	// would make the journal lie about how its cells were produced, so a
+	// mismatch refuses like any other parameter change.
+	SimWorkers int `json:"simworkers,omitempty"`
 }
 
 // ParamsDigest hashes the campaign parameters that must match for a
@@ -107,6 +113,9 @@ func (r RunInfo) diff(other RunInfo) []string {
 	}
 	if !slices.Equal(r.Workloads, other.Workloads) {
 		add("workloads", r.Workloads, other.Workloads)
+	}
+	if r.SimWorkers != other.SimWorkers {
+		add("sim-workers", r.SimWorkers, other.SimWorkers)
 	}
 	return diffs
 }

@@ -228,6 +228,17 @@ func TestRunInfoVerify(t *testing.T) {
 	if err := a.Verify(e); err == nil {
 		t.Error("run-ID change accepted")
 	}
+	// A resume that switched simulation kernel configuration must refuse:
+	// results are bit-identical, but the journal must not lie about how
+	// its cells were produced.
+	f := a
+	f.SimWorkers = 4
+	err := a.Verify(f)
+	if err == nil {
+		t.Error("sim-workers change accepted")
+	} else if !strings.Contains(err.Error(), "sim-workers") {
+		t.Errorf("sim-workers mismatch not named: %v", err)
+	}
 }
 
 func TestNilJournalIsNoOp(t *testing.T) {
