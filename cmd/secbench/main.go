@@ -38,6 +38,8 @@
 //	secbench -worker -coordinator http://coord:8123 -store results/store -auth-token $TOKEN
 //	secbench -submit -coordinator http://coord:8123 -exp fig21 -out tables -auth-token $TOKEN
 //	secbench -serve :8123 -store results/store -verify-fraction 0.1 -scrub-interval 10m
+//	secbench -serve :8123 -store results/store -max-campaigns 8 -max-queue-depth 10000 -brownout-mb 2048
+//	secbench -submit -coordinator http://coord:8123 -exp all -priority low -deadline 2h -out tables
 //	secbench -fsck -store results/store
 //	secbench -list
 //
@@ -48,6 +50,17 @@
 // persisted cells — workers reconnect and the campaign converges to the
 // same bytes. SECBENCH_FAULTS (or -faults) injects seeded RPC faults
 // into -worker/-submit traffic for chaos testing.
+//
+// Under load the coordinator degrades gracefully rather than falling
+// over: -max-campaigns and -max-queue-depth shed excess submissions with
+// 429 + Retry-After (which -submit honors, retrying until admitted),
+// -brownout-mb pauses verification sampling and scrubbing above a heap
+// watermark, -priority feeds a weighted-fair lease scheduler so big
+// sweeps cannot starve interactive submissions, and -deadline bounds a
+// campaign's wall time (past it: failed, partial tables returned, workers
+// cancel in-flight cells). -submit streams each table as it finishes.
+// SIGINT kills the coordinator abruptly (crash semantics, journal
+// recovery); SIGTERM drains it gracefully and journals a clean shutdown.
 //
 // Workers are not trusted blindly: every publish attests the canonical
 // digest of its payload under a per-lease fencing token, -verify-fraction
@@ -138,6 +151,10 @@ func main() {
 	submitMode := flag.Bool("submit", false, "submit the experiment set to -coordinator as a campaign, wait, and fetch tables")
 	coordinator := flag.String("coordinator", "", "coordinator base URL for -worker and -submit (e.g. http://127.0.0.1:8123)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long a worker may hold a leased cell without renewing before it requeues (-serve)")
+	maxCampaigns := flag.Int("max-campaigns", 0, "admission limit: reject new submissions with 429 + Retry-After while this many campaigns are running (-serve; 0 = unlimited)")
+	maxQueueDepth := flag.Int("max-queue-depth", 0, "admission limit: reject new submissions while this many cells are pending on the work queue (-serve; 0 = unlimited)")
+	brownoutMB := flag.Int("brownout-mb", 0, "heap watermark in MiB: above it the coordinator browns out — verification sampling and scrub passes pause until the heap recedes (-serve; 0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "how long a SIGTERM drain waits for in-flight leases before giving up (-serve; 0 = 2×lease TTL + 5s)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts when the queue is empty (-worker) and between status polls (-submit)")
 	workerName := flag.String("worker-name", "", "worker identity in lease records (default hostname-pid)")
 	authToken := flag.String("auth-token", os.Getenv("SECBENCH_AUTH_TOKEN"), "shared bearer token: required by -serve on every endpoint except /v1/healthz, sent by -worker and -submit (default $SECBENCH_AUTH_TOKEN)")
@@ -148,6 +165,8 @@ func main() {
 	verifyQuorum := flag.Int("verify-quorum", 2, "independent executions a verified cell needs before its result is admitted (-serve; minimum 2)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "how often the coordinator re-verifies every stored object at rest and heals corruption (-serve; 0 disables)")
 	byzantine := flag.String("byzantine", os.Getenv("SECBENCH_BYZANTINE"), "seeded worker misbehavior, e.g. \"seed=3,corrupt=0.5,lie=0.2,zombie=0.1\" (-worker; default $SECBENCH_BYZANTINE; chaos testing only)")
+	priority := flag.String("priority", "", "campaign priority for weighted-fair scheduling: low, normal, or high (-submit; default normal)")
+	deadline := flag.Duration("deadline", 0, "campaign wall-time budget from submission (-submit; 0 = unbounded): past it the campaign fails and returns the tables finished so far")
 	fsck := flag.Bool("fsck", false, "verify every object in -store once (the coordinator's scrub pass, offline), quarantine corruption, and exit non-zero if any was found")
 	flag.Parse()
 
@@ -164,22 +183,29 @@ func main() {
 		return
 	}
 
+	if *fsck {
+		runFsck(*storeDir)
+		return
+	}
+	if *serveAddr != "" {
+		// The coordinator manages its own signals: SIGINT cancels hard
+		// (crash semantics — campaigns recover from the journal), SIGTERM
+		// drains gracefully (no new leases, in-flight work finishes, a
+		// clean-shutdown record lands in the journal).
+		runServe(*serveAddr, *storeDir, *leaseTTL, *drainTimeout, *maxCampaigns, *maxQueueDepth, *brownoutMB,
+			*authToken, *tlsCert, *tlsKey, *verifyFraction, *verifyQuorum, *scrubInterval, *quiet)
+		return
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	switch {
-	case *fsck:
-		runFsck(*storeDir)
-		return
-	case *serveAddr != "":
-		runServe(ctx, *serveAddr, *storeDir, *leaseTTL, *authToken, *tlsCert, *tlsKey,
-			*verifyFraction, *verifyQuorum, *scrubInterval, *quiet)
-		return
 	case *workerMode:
 		runWorker(ctx, *coordinator, *storeDir, *workerName, *poll, *authToken, *faults, *byzantine, *quiet)
 		return
 	case *submitMode:
-		spec := campaignSpec(*exp, *workloads, *gpus, *scale, *seed, *par, *simWorkers, *retries, *cellTimeout)
+		spec := campaignSpec(*exp, *workloads, *gpus, *scale, *seed, *par, *simWorkers, *retries, *cellTimeout, *priority, *deadline)
 		runSubmit(ctx, *coordinator, spec, *outDir, *csv, *poll, *authToken, *faults, *quiet)
 		return
 	}
@@ -369,7 +395,7 @@ func writeRendered(outDir, name string, csv bool, rendered string) error {
 
 // campaignSpec maps the sweep flags onto the shared campaign options
 // struct — the same surface the library and the coordinator use.
-func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, par, simWorkers, retries int, cellTimeout time.Duration) campaign.Spec {
+func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, par, simWorkers, retries int, cellTimeout time.Duration, priority string, deadline time.Duration) campaign.Spec {
 	spec := campaign.Spec{
 		GPUs:        gpus,
 		Scale:       scale,
@@ -378,6 +404,8 @@ func campaignSpec(exp, workloads string, gpus int, scale float64, seed int64, pa
 		SimWorkers:  simWorkers,
 		Retries:     retries,
 		CellTimeout: cellTimeout,
+		Priority:    campaign.Priority(priority),
+		Deadline:    deadline,
 	}
 	if exp != "" && exp != "all" {
 		spec.Experiments = strings.Split(exp, ",")
@@ -415,17 +443,21 @@ func runFsck(storeDir string) {
 	}
 }
 
-// runServe hosts a campaign coordinator until interrupted.
-func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration, authToken, tlsCert, tlsKey string, verifyFraction float64, verifyQuorum int, scrubInterval time.Duration, quiet bool) {
+// runServe hosts a campaign coordinator. SIGINT cancels the serve
+// context — crash semantics, campaigns recover from the journal on the
+// next boot. SIGTERM instead triggers a graceful drain: lease granting
+// and submissions stop (503 + Retry-After), in-flight leases finish or
+// expire, a clean-shutdown record is journaled, and the process exits 0.
+func runServe(addr, storeDir string, leaseTTL, drainTimeout time.Duration, maxCampaigns, maxQueueDepth, brownoutMB int, authToken, tlsCert, tlsKey string, verifyFraction float64, verifyQuorum int, scrubInterval time.Duration, quiet bool) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
 	}
 	if quiet {
 		logf = nil
 	} else {
-		logf("serving campaigns on %s (store %q, lease TTL %s, auth %v, tls %v, verify %.2f×%d, scrub %s)",
+		logf("serving campaigns on %s (store %q, lease TTL %s, auth %v, tls %v, verify %.2f×%d, scrub %s, max campaigns %d, max queue %d, brownout %d MiB)",
 			addr, storeDir, leaseTTL, authToken != "", tlsCert != "",
-			verifyFraction, verifyQuorum, scrubInterval)
+			verifyFraction, verifyQuorum, scrubInterval, maxCampaigns, maxQueueDepth, brownoutMB)
 	}
 	if (tlsCert == "") != (tlsKey == "") {
 		fatal(errors.New("-tls-cert and -tls-key must be set together"))
@@ -438,11 +470,30 @@ func runServe(ctx context.Context, addr, storeDir string, leaseTTL time.Duration
 			fatal(err)
 		}
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drain := make(chan struct{})
+	sigterm := make(chan os.Signal, 1)
+	signal.Notify(sigterm, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigterm:
+			if logf != nil {
+				logf("SIGTERM: draining — refusing new work, waiting for in-flight leases")
+			}
+			close(drain)
+		case <-ctx.Done():
+		}
+	}()
+
 	err := campaign.Serve(ctx, addr, campaign.Options{
 		Store: st, LeaseTTL: leaseTTL, Logf: logf,
 		AuthToken: authToken, TLSCertFile: tlsCert, TLSKeyFile: tlsKey,
 		VerifyFraction: verifyFraction, VerifyQuorum: verifyQuorum,
 		ScrubInterval: scrubInterval,
+		MaxCampaigns:  maxCampaigns, MaxQueueDepth: maxQueueDepth, BrownoutMB: brownoutMB,
+		Drain: drain, DrainTimeout: drainTimeout,
 	})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
@@ -521,9 +572,11 @@ func runWorker(ctx context.Context, coordinator, storeDir, name string, poll tim
 	}
 }
 
-// runSubmit sends a campaign to the coordinator, waits for it to finish,
-// prints the tables, and writes them under the same stable filenames a
-// single-process run uses.
+// runSubmit sends a campaign to the coordinator, streams each table as
+// the coordinator finishes it, and writes them under the same stable
+// filenames a single-process run uses. A 429/503 from an overloaded or
+// draining coordinator is not fatal: the submission retries on the
+// server's own Retry-After hint until admitted or interrupted.
 func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outDir string, csv bool, poll time.Duration, authToken, faults string, quiet bool) {
 	if coordinator == "" {
 		fatal(errors.New("-submit requires -coordinator URL"))
@@ -535,12 +588,39 @@ func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outD
 		logf = nil
 	}
 	client := newCampaignClient(coordinator, authToken, faults, logf)
-	st, err := client.Submit(ctx, spec)
-	if err != nil {
+	var st campaign.Status
+	for {
+		var err error
+		st, err = client.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		var apiErr *campaign.APIError
+		if errors.As(err, &apiErr) &&
+			(apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable) {
+			wait := apiErr.RetryAfter
+			if wait <= 0 {
+				wait = time.Second
+			}
+			if logf != nil {
+				logf("coordinator shed the submission (%d: %s); retrying in %s", apiErr.Status, apiErr.Message, wait)
+			}
+			select {
+			case <-ctx.Done():
+				fatal(ctx.Err())
+			case <-time.After(wait):
+			}
+			continue
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "secbench: submitted campaign %s (%d experiments)\n", st.ID, st.ExperimentsTotal)
 
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	progress := func(s campaign.Status) {
 		fmt.Fprintf(os.Stderr, "\r\033[K  campaign %s: %s · %d/%d experiments · %d cells delegated · %d completed · %d failed",
 			s.ID, s.State, s.ExperimentsDone, s.ExperimentsTotal,
@@ -549,7 +629,31 @@ func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outD
 	if quiet {
 		progress = nil
 	}
-	final, err := client.Wait(ctx, st.ID, poll, progress)
+	// Tables stream as the coordinator finishes them: each prints (and
+	// persists) exactly once, long before the campaign's slowest
+	// experiment lands. A finished table never changes, so the streamed
+	// bytes equal what a terminal-state fetch would return.
+	writeFailed := 0
+	streamed := make(map[string]bool)
+	emit := func(t campaign.TableResult) {
+		rendered := t.Text
+		if csv {
+			rendered = t.CSV
+		}
+		if !quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Print(rendered)
+		fmt.Println()
+		streamed[t.Name] = true
+		if outDir != "" {
+			if err := writeRendered(outDir, t.Name, csv, rendered); err != nil {
+				fmt.Fprintf(os.Stderr, "secbench: %v\n", err)
+				writeFailed++
+			}
+		}
+	}
+	final, err := client.WaitTables(ctx, st.ID, poll, progress, emit)
 	if !quiet {
 		fmt.Fprint(os.Stderr, "\r\033[K")
 	}
@@ -564,28 +668,17 @@ func runSubmit(ctx context.Context, coordinator string, spec campaign.Spec, outD
 		fatal(err)
 	}
 
-	tables, err := client.Tables(ctx, st.ID)
+	// Authoritative flush: WaitTables' streaming is best-effort, so fetch
+	// the terminal snapshot and emit anything that slipped through. For a
+	// deadline-expired (failed) campaign this is the partial-tables
+	// answer: whatever finished before the budget ran out.
+	snap, err := client.PartialTables(ctx, st.ID)
 	if err != nil {
 		fatal(err)
 	}
-	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			fatal(err)
-		}
-	}
-	writeFailed := 0
-	for _, t := range tables {
-		rendered := t.Text
-		if csv {
-			rendered = t.CSV
-		}
-		fmt.Print(rendered)
-		fmt.Println()
-		if outDir != "" {
-			if err := writeRendered(outDir, t.Name, csv, rendered); err != nil {
-				fmt.Fprintf(os.Stderr, "secbench: %v\n", err)
-				writeFailed++
-			}
+	for _, t := range snap.Tables {
+		if !streamed[t.Name] {
+			emit(t)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "secbench: campaign %s %s: %d/%d experiments, %d cells delegated, %d completed, %d failed, %d cache hits, %d store hits\n",

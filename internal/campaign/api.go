@@ -3,9 +3,11 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"secmgpu/internal/config"
@@ -19,12 +21,12 @@ import (
 // endpoint except the liveness probe requires "Authorization: Bearer
 // <token>" (compared in constant time) and answers 401 otherwise.
 //
-//	POST   /v1/campaigns              submit a Spec            -> 201 Status
+//	POST   /v1/campaigns              submit a Spec            -> 201 Status | 429/503 + Retry-After
 //	GET    /v1/campaigns              list                     -> 200 []Status
 //	GET    /v1/campaigns/{id}         status                   -> 200 Status
 //	DELETE /v1/campaigns/{id}         cancel                   -> 200 Status
 //	GET    /v1/campaigns/{id}/tables  finished tables          -> 200 tablesResponse
-//	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204 | 403 (quarantined)
+//	POST   /v1/lease                  lease a cell             -> 200 wireGrant | 204 | 403 (quarantined) | 503 (draining)
 //	POST   /v1/lease/{id}/renew       heartbeat                -> 204 | 410
 //	POST   /v1/lease/{id}/complete    publish a result         -> 204 (admitted/vote/duplicate) | 409 (rejected)
 //	POST   /v1/lease/{id}/fail        report a failed attempt  -> 204 (idempotent)
@@ -33,6 +35,15 @@ import (
 // POST /v1/campaigns honours an Idempotency-Key header: re-submitting
 // the same key returns the original campaign instead of starting a
 // duplicate, which makes submission retry-safe.
+//
+// GET /v1/campaigns/{id}/tables?partial=1 explicitly requests the
+// tables finished so far on a still-running campaign (mid-campaign
+// streaming); the response carries experiment counts and a partial
+// marker either way.
+//
+// Over-limit submissions answer 429, and any request refused because
+// the coordinator is draining answers 503; both carry a Retry-After
+// header (integer seconds) the client retry policy honours.
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
 
@@ -71,7 +82,12 @@ type wireGrant struct {
 	Verify            bool     `json:"verify,omitempty"`
 	TTLMillis         int64    `json:"ttl_ms"`
 	CellTimeoutMillis int64    `json:"cell_timeout_ms,omitempty"`
-	Attempt           int      `json:"attempt"`
+	// DeadlineUnixMS is the campaign deadline as Unix milliseconds (0 =
+	// none); the worker bounds its simulation context by it.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
+	// Hedge marks a speculative straggler re-lease.
+	Hedge   bool `json:"hedge,omitempty"`
+	Attempt int  `json:"attempt"`
 }
 
 // leaseRequest asks for work.
@@ -96,11 +112,17 @@ type failRequest struct {
 	Error  string `json:"error"`
 }
 
-// tablesResponse carries a campaign's finished tables.
+// tablesResponse carries a campaign's finished tables. On a running
+// campaign the set is the experiments finished so far (Partial true);
+// clients polling with ?partial=1 stream rows as experiments complete
+// instead of waiting for the campaign to end.
 type tablesResponse struct {
-	ID     string        `json:"id"`
-	State  State         `json:"state"`
-	Tables []TableResult `json:"tables"`
+	ID               string        `json:"id"`
+	State            State         `json:"state"`
+	Partial          bool          `json:"partial,omitempty"`
+	ExperimentsDone  int           `json:"experiments_done"`
+	ExperimentsTotal int           `json:"experiments_total"`
+	Tables           []TableResult `json:"tables"`
 }
 
 // CampaignProgress is one campaign's progress counters on the health
@@ -141,6 +163,23 @@ type Health struct {
 	Scrub ScrubHealth `json:"scrub"`
 	// Progress lists per-campaign progress, newest first.
 	Progress []CampaignProgress `json:"progress,omitempty"`
+
+	// Draining is true while a graceful SIGTERM drain runs down
+	// in-flight leases; CleanShutdown reports that the previous process
+	// exited through such a drain rather than a crash.
+	Draining      bool `json:"draining,omitempty"`
+	CleanShutdown bool `json:"clean_shutdown,omitempty"`
+	// Brownout is true while the heap sits above the brownout
+	// watermark (verification lottery and scrubbing paused); Brownouts
+	// counts transitions into that mode.
+	Brownout  bool  `json:"brownout,omitempty"`
+	Brownouts int64 `json:"brownouts,omitempty"`
+	// RejectedSubmissions counts submissions refused 429 at the
+	// admission limits.
+	RejectedSubmissions int64 `json:"rejected_submissions,omitempty"`
+	// Latency is per-campaign latency evidence: queue-wait and
+	// lease-duration histograms.
+	Latency []CampaignLatency `json:"latency,omitempty"`
 }
 
 // Handler returns the coordinator's versioned HTTP API, wrapped with
@@ -167,12 +206,34 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := c.SubmitKeyed(spec, r.Header.Get(idemHeader))
 	if err != nil {
-		// Submit errors only on spec validation (unknown experiment or
+		var ov *OverloadError
+		if errors.As(err, &ov) {
+			// Shed load, don't queue it: 429 at the admission limits,
+			// 503 while draining, either way with a Retry-After hint.
+			status := http.StatusTooManyRequests
+			if c.Draining() {
+				status = http.StatusServiceUnavailable
+			}
+			writeRetryAfter(w, ov.RetryAfter)
+			writeError(w, status, err)
+			return
+		}
+		// Other submit errors are spec validation (unknown experiment or
 		// workload, bad sizing) — all client mistakes.
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, st)
+}
+
+// writeRetryAfter sets the Retry-After header (integer seconds, minimum
+// 1 so the hint never rounds to "immediately").
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
@@ -205,7 +266,14 @@ func (c *Coordinator) handleTables(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tables, _ := c.Tables(id)
-	writeJSON(w, http.StatusOK, tablesResponse{ID: id, State: st.State, Tables: tables})
+	writeJSON(w, http.StatusOK, tablesResponse{
+		ID:               id,
+		State:            st.State,
+		Partial:          !st.State.Terminal(),
+		ExperimentsDone:  st.ExperimentsDone,
+		ExperimentsTotal: st.ExperimentsTotal,
+		Tables:           tables,
+	})
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +283,13 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Worker == "" {
 		req.Worker = r.RemoteAddr
+	}
+	if c.Draining() {
+		// A draining coordinator grants nothing new: workers back off
+		// and the in-flight leases run down.
+		writeRetryAfter(w, 5*time.Second)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("campaign: coordinator is draining"))
+		return
 	}
 	g, ok, err := c.queue.Lease(req.Worker)
 	if err != nil {
@@ -239,8 +314,18 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		Verify:            g.Verify,
 		TTLMillis:         g.TTL.Milliseconds(),
 		CellTimeoutMillis: g.CellTimeout.Milliseconds(),
+		DeadlineUnixMS:    deadlineUnixMS(g.Deadline),
+		Hedge:             g.Hedge,
 		Attempt:           g.Attempt,
 	})
+}
+
+// deadlineUnixMS renders an absolute deadline for the wire (0 = none).
+func deadlineUnixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
 }
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -297,17 +382,23 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, Health{
-		OK:          true,
-		Campaigns:   len(statuses),
-		Pending:     pending,
-		Leased:      leased,
-		Expired:     qs.Expired,
-		Recovered:   c.Recovered(),
-		Quarantined: quarantined,
-		Queue:       qs,
-		Workers:     workers,
-		Scrub:       c.ScrubStats(),
-		Progress:    progress,
+		OK:                  true,
+		Campaigns:           len(statuses),
+		Pending:             pending,
+		Leased:              leased,
+		Expired:             qs.Expired,
+		Recovered:           c.Recovered(),
+		Quarantined:         quarantined,
+		Queue:               qs,
+		Workers:             workers,
+		Scrub:               c.ScrubStats(),
+		Progress:            progress,
+		Draining:            c.Draining(),
+		CleanShutdown:       c.CleanShutdown(),
+		Brownout:            c.Brownout(),
+		Brownouts:           c.brownouts.Load(),
+		RejectedSubmissions: c.rejected.Load(),
+		Latency:             c.queue.Latencies(),
 	})
 }
 
@@ -339,6 +430,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // set) until ctx is cancelled, terminating TLS when Options carries a
 // certificate pair. It is the library entry point behind secmgpu.Serve
 // and secbench -serve.
+//
+// A signal on Options.Drain triggers a graceful drain instead of a hard
+// stop: lease grants and submissions answer 503 + Retry-After,
+// in-flight leases finish or expire (bounded by Options.DrainTimeout),
+// a clean-shutdown record is journaled, and Serve returns nil.
 func Serve(ctx context.Context, addr string, opts Options) error {
 	c := NewCoordinator(opts)
 	defer c.Close()
@@ -359,12 +455,27 @@ func Serve(ctx context.Context, addr string, opts Options) error {
 			errCh <- srv.Serve(ln)
 		}
 	}()
-	select {
-	case <-ctx.Done():
+	shutdown := func() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+	}
+	select {
+	case <-ctx.Done():
+		shutdown()
 		return ctx.Err()
+	case <-opts.Drain:
+		timeout := opts.DrainTimeout
+		if timeout <= 0 {
+			timeout = 2*c.queue.TTL() + 5*time.Second
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), timeout)
+		// The API stays up during the drain: workers must still renew,
+		// complete, and fail their in-flight leases.
+		err := c.Drain(drainCtx)
+		cancel()
+		shutdown()
+		return err
 	case err := <-errCh:
 		return err
 	}

@@ -11,7 +11,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"secmgpu/internal/machine"
@@ -62,10 +64,11 @@ func (p RetryPolicy) backoff(i int) time.Duration {
 // 5xx answers, so a coordinator restart or a flaky network is a delay,
 // not a failure.
 type Client struct {
-	base  string
-	http  *http.Client
-	token string
-	retry RetryPolicy
+	base    string
+	http    *http.Client
+	token   string
+	retry   RetryPolicy
+	breaker breaker
 }
 
 // NewClient returns a client for the coordinator at baseURL (e.g.
@@ -76,9 +79,10 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 		httpClient = &http.Client{Timeout: 60 * time.Second}
 	}
 	return &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		http:  httpClient,
-		retry: RetryPolicy{}.withDefaults(),
+		base:    strings.TrimRight(baseURL, "/"),
+		http:    httpClient,
+		retry:   RetryPolicy{}.withDefaults(),
+		breaker: breaker{threshold: 8, cooldown: 2 * time.Second},
 	}
 }
 
@@ -90,14 +94,79 @@ func (cl *Client) SetToken(token string) { cl.token = token }
 // fields select defaults.
 func (cl *Client) SetRetry(p RetryPolicy) { cl.retry = p.withDefaults() }
 
+// SetBreaker tunes the client's circuit breaker: after threshold
+// consecutive transport-level failures the breaker opens and requests
+// fail fast (ErrCircuitOpen) for cooldown before a half-open probe.
+// threshold <= 0 disables the breaker.
+func (cl *Client) SetBreaker(threshold int, cooldown time.Duration) {
+	cl.breaker.mu.Lock()
+	defer cl.breaker.mu.Unlock()
+	cl.breaker.threshold = threshold
+	cl.breaker.cooldown = cooldown
+}
+
 // APIError is a non-2xx coordinator response.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter echoes the response's Retry-After header (0 = absent):
+	// the coordinator's own hint on when shed load should come back.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("campaign: coordinator returned %d: %s", e.Status, e.Message)
+}
+
+// ErrCircuitOpen is returned (wrapped) while the client's circuit
+// breaker is open: recent requests all died at the transport layer, so
+// the client fails fast instead of hammering a dead coordinator. The
+// error is transient — polling loops ride it out and probe again after
+// the cooldown.
+var ErrCircuitOpen = errors.New("campaign: circuit breaker open")
+
+// breaker is a small consecutive-failure circuit breaker. Only
+// transport-level failures and gateway-class 5xx count: a 4xx, 429, or
+// 503 proves the coordinator is alive and resets the streak.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a request may proceed (false while open). When
+// the cooldown has elapsed the breaker half-opens: the caller's request
+// is the probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold <= 0 {
+		return true
+	}
+	return b.openUntil.IsZero() || !time.Now().Before(b.openUntil)
+}
+
+// record updates the breaker after one attempt's outcome.
+func (b *breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold <= 0 {
+		return
+	}
+	var apiErr *APIError
+	isTransport := err != nil && !errors.As(err, &apiErr)
+	isGateway := apiErr != nil && (apiErr.Status == http.StatusBadGateway || apiErr.Status == http.StatusGatewayTimeout)
+	if !isTransport && !isGateway {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
 }
 
 // transient reports whether err is worth retrying (for an idempotent
@@ -132,20 +201,39 @@ func (cl *Client) do(ctx context.Context, method, path string, in, out any, idem
 		attempts = cl.retry.Attempts
 	}
 	for i := 0; ; i++ {
-		ok, err = cl.attempt(ctx, method, path, body, in != nil, out, headerK, headerV)
-		if err == nil {
-			return ok, nil
+		if !cl.breaker.allow() {
+			err = fmt.Errorf("%w: cooling down before next probe", ErrCircuitOpen)
+		} else {
+			ok, err = cl.attempt(ctx, method, path, body, in != nil, out, headerK, headerV)
+			cl.breaker.record(err)
+			if err == nil {
+				return ok, nil
+			}
 		}
 		if ctx.Err() != nil || i >= attempts-1 || !transient(err) {
 			return false, err
 		}
+		// An overloaded coordinator's Retry-After hint overrides our own
+		// backoff when it asks for more patience — it knows its backlog.
+		wait := cl.retry.backoff(i)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+			if wait > maxRetryAfter {
+				wait = maxRetryAfter
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return false, ctx.Err()
-		case <-time.After(cl.retry.backoff(i)):
+		case <-time.After(wait):
 		}
 	}
 }
+
+// maxRetryAfter caps how long a server-sent Retry-After hint can stall
+// one retry loop iteration.
+const maxRetryAfter = 30 * time.Second
 
 // attempt issues exactly one HTTP round trip.
 func (cl *Client) attempt(ctx context.Context, method, path string, body []byte, hasBody bool, out any, headerK, headerV string) (ok bool, err error) {
@@ -184,7 +272,11 @@ func (cl *Client) attempt(ctx context.Context, method, path string, body []byte,
 		if json.Unmarshal(data, &envelope) != nil || envelope.Error == "" {
 			envelope.Error = strings.TrimSpace(string(data))
 		}
-		return false, &APIError{Status: resp.StatusCode, Message: envelope.Error}
+		apiErr := &APIError{Status: resp.StatusCode, Message: envelope.Error}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return false, apiErr
 	}
 	if err != nil {
 		return false, fmt.Errorf("campaign: read response: %w", err)
@@ -251,6 +343,25 @@ func (cl *Client) Tables(ctx context.Context, id string) ([]TableResult, error) 
 	return resp.Tables, err
 }
 
+// TablesSnapshot is a point-in-time view of a campaign's tables,
+// possibly mid-run: Partial is true while the campaign is still
+// executing, and Tables holds only the experiments finished so far.
+type TablesSnapshot struct {
+	State            State         `json:"state"`
+	Partial          bool          `json:"partial,omitempty"`
+	ExperimentsDone  int           `json:"experiments_done"`
+	ExperimentsTotal int           `json:"experiments_total"`
+	Tables           []TableResult `json:"tables"`
+}
+
+// PartialTables fetches whatever tables the campaign has finished so
+// far (GET …/tables?partial=1), without waiting for a terminal state.
+func (cl *Client) PartialTables(ctx context.Context, id string) (TablesSnapshot, error) {
+	var resp TablesSnapshot
+	_, err := cl.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/tables?partial=1", nil, &resp, true, "", "")
+	return resp, err
+}
+
 // Wait polls the campaign until it reaches a terminal state (or ctx is
 // cancelled), invoking progress (if non-nil) after every poll. Transient
 // errors — including a full coordinator restart, which the per-request
@@ -282,6 +393,40 @@ func (cl *Client) Wait(ctx context.Context, id string, poll time.Duration, progr
 		case <-time.After(poll):
 		}
 	}
+}
+
+// WaitTables is Wait plus result streaming: each table is delivered to
+// onTable exactly once, as soon as the coordinator has finished it,
+// rather than in one batch at the end. After the campaign reaches a
+// terminal state a final fetch flushes any tables that landed between
+// the last poll and termination. Partial-fetch errors are swallowed —
+// the stream is best-effort and the terminal fetch is authoritative.
+func (cl *Client) WaitTables(ctx context.Context, id string, poll time.Duration, progress func(Status), onTable func(TableResult)) (Status, error) {
+	seen := make(map[string]bool)
+	emit := func(tables []TableResult) {
+		for _, t := range tables {
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				onTable(t)
+			}
+		}
+	}
+	st, err := cl.Wait(ctx, id, poll, func(st Status) {
+		if progress != nil {
+			progress(st)
+		}
+		if onTable != nil && !st.State.Terminal() && st.ExperimentsDone > len(seen) {
+			if snap, terr := cl.PartialTables(ctx, id); terr == nil {
+				emit(snap.Tables)
+			}
+		}
+	})
+	if err == nil && onTable != nil {
+		if snap, terr := cl.PartialTables(ctx, id); terr == nil {
+			emit(snap.Tables)
+		}
+	}
+	return st, err
 }
 
 // Health probes the coordinator's liveness endpoint and returns its
@@ -325,7 +470,7 @@ func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error)
 		cl.Fail(ctx, wg.Lease, wg.Digest, err.Error())
 		return Grant{}, false, err
 	}
-	return Grant{
+	g := Grant{
 		Lease:       wg.Lease,
 		Fence:       wg.Fence,
 		Digest:      wg.Digest,
@@ -334,7 +479,12 @@ func (cl *Client) Lease(ctx context.Context, worker string) (Grant, bool, error)
 		TTL:         time.Duration(wg.TTLMillis) * time.Millisecond,
 		CellTimeout: time.Duration(wg.CellTimeoutMillis) * time.Millisecond,
 		Attempt:     wg.Attempt,
-	}, true, nil
+		Hedge:       wg.Hedge,
+	}
+	if wg.DeadlineUnixMS > 0 {
+		g.Deadline = time.UnixMilli(wg.DeadlineUnixMS)
+	}
+	return g, true, nil
 }
 
 // Renew heartbeats a lease. A lost lease returns an *APIError with

@@ -2,11 +2,14 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"secmgpu/internal/experiments"
@@ -68,6 +71,9 @@ type Status struct {
 	// Recovered marks a campaign re-submitted (or tombstoned) from the
 	// control journal by a restarted coordinator.
 	Recovered bool `json:"recovered,omitempty"`
+	// Deadline is the campaign's absolute wall-clock bound (zero =
+	// none); past it the campaign fails with partial tables.
+	Deadline time.Time `json:"deadline,omitzero"`
 }
 
 // TableResult is one finished experiment table, rendered both ways so
@@ -126,6 +132,30 @@ type Options struct {
 	// damaged cells still known to the queue are resubmitted for
 	// self-healing re-execution (0 disables; needs Store).
 	ScrubInterval time.Duration
+
+	// MaxCampaigns bounds concurrently running campaigns; over-limit
+	// submissions are refused with ErrOverloaded (HTTP 429 +
+	// Retry-After) instead of queued without bound (0 = unlimited).
+	MaxCampaigns int
+	// MaxQueueDepth bounds pending cells on the work queue; submissions
+	// arriving above it are refused with ErrOverloaded (0 = unlimited).
+	MaxQueueDepth int
+	// BrownoutMB is a heap watermark in MiB. Above it the coordinator
+	// browns out: the verification-quorum lottery pauses for new cells
+	// and scrub passes are skipped — load-amplifying work stops before
+	// any work is refused. Above twice the watermark, new submissions
+	// are refused with ErrOverloaded. 0 disables brownout.
+	BrownoutMB int
+
+	// Drain, when non-nil, makes Serve perform a graceful drain when
+	// the channel delivers (or closes): stop granting leases, let
+	// in-flight leases finish or expire, journal a clean-shutdown
+	// record, exit. Wired to SIGTERM by secbench -serve.
+	Drain <-chan struct{}
+	// DrainTimeout bounds how long a drain waits for in-flight leases
+	// (default 2×LeaseTTL+5s — every honest lease has finished, renewed,
+	// or expired by then).
+	DrainTimeout time.Duration
 }
 
 // Coordinator owns the work queue and the set of campaigns. Construct
@@ -139,6 +169,16 @@ type Coordinator struct {
 
 	ctl       *store.Log // control journal (nil without a store)
 	recovered int        // campaigns re-submitted from the journal at boot
+
+	// Admission control and degraded modes.
+	maxCampaigns  int
+	maxQueueDepth int
+	brownoutBytes uint64
+	brownout      atomic.Bool  // heap above watermark: amplification paused
+	brownouts     atomic.Int64 // transitions into brownout
+	rejected      atomic.Int64 // submissions refused with 429
+	draining      atomic.Bool  // SIGTERM drain in progress: no new leases
+	cleanBoot     bool         // previous process exited via drain record
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
@@ -184,6 +224,11 @@ type Campaign struct {
 	journal *store.Journal
 	cancel  context.CancelFunc
 
+	// deadline is the absolute wall-clock bound derived from
+	// spec.Deadline at launch (zero = none). It rides on every cell the
+	// campaign delegates.
+	deadline time.Time
+
 	mu           sync.Mutex
 	state        State
 	err          string
@@ -205,13 +250,16 @@ type Campaign struct {
 // lease-expiry collector runs until Close.
 func NewCoordinator(opts Options) *Coordinator {
 	c := &Coordinator{
-		queue:     NewQueue(opts.LeaseTTL),
-		store:     opts.Store,
-		token:     opts.AuthToken,
-		logf:      opts.Logf,
-		campaigns: make(map[string]*Campaign),
-		idem:      make(map[string]string),
-		stop:      make(chan struct{}),
+		queue:         NewQueue(opts.LeaseTTL),
+		store:         opts.Store,
+		token:         opts.AuthToken,
+		logf:          opts.Logf,
+		maxCampaigns:  opts.MaxCampaigns,
+		maxQueueDepth: opts.MaxQueueDepth,
+		brownoutBytes: uint64(opts.BrownoutMB) << 20,
+		campaigns:     make(map[string]*Campaign),
+		idem:          make(map[string]string),
+		stop:          make(chan struct{}),
 	}
 	c.bg, c.bgCancel = context.WithCancel(context.Background())
 	if c.logf == nil {
@@ -233,6 +281,9 @@ func NewCoordinator(opts Options) *Coordinator {
 	go c.expiryLoop()
 	if c.store != nil && opts.ScrubInterval > 0 {
 		go c.scrubLoop(opts.ScrubInterval)
+	}
+	if c.brownoutBytes > 0 {
+		go c.brownoutLoop()
 	}
 	return c
 }
@@ -269,6 +320,10 @@ func (c *Coordinator) recover() {
 		c.ctl = ctl
 	}
 	c.seq = rep.maxSeq()
+	c.cleanBoot = rep.cleanShutdown()
+	if c.cleanBoot {
+		c.logf("campaign: previous coordinator shut down cleanly (drained)")
+	}
 
 	// Terminal campaigns become tombstones so status queries and
 	// idempotent re-submissions survive the restart.
@@ -310,7 +365,7 @@ func (c *Coordinator) recover() {
 	// Campaigns that were running are re-submitted under their original
 	// IDs; the store rehydrates every persisted cell.
 	for _, sub := range rep.resubmit() {
-		if _, err := c.launch(sub.Spec, sub.ID, sub.Key, false); err != nil {
+		if _, err := c.launch(sub.Spec, sub.ID, sub.Key, false, sub.Created); err != nil {
 			c.logf("campaign %s: recovery re-submit failed: %v", sub.ID, err)
 			continue
 		}
@@ -325,6 +380,98 @@ func (c *Coordinator) recover() {
 // Recovered returns how many running campaigns this coordinator
 // re-submitted from the control journal at startup.
 func (c *Coordinator) Recovered() int { return c.recovered }
+
+// CleanShutdown reports whether the previous coordinator process exited
+// through a graceful drain (the control journal ends with a drain
+// record) rather than a crash.
+func (c *Coordinator) CleanShutdown() bool { return c.cleanBoot }
+
+// Draining reports whether a graceful drain is in progress: lease grants
+// and submissions are refused while in-flight leases finish.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// Brownout reports whether the heap is above the brownout watermark.
+func (c *Coordinator) Brownout() bool { return c.brownout.Load() }
+
+// Drain performs a graceful shutdown: new lease grants and submissions
+// stop (HTTP 503 + Retry-After), in-flight leases run to completion or
+// TTL expiry, and a drain record is journaled so the successor can tell
+// clean shutdown from crash. ctx bounds the wait; on timeout the drain
+// record is still written (remaining leases have been expired and
+// requeued, nothing was abandoned mid-grant). Idempotent.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	if !c.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	_, leased := c.queue.Depth()
+	c.logf("campaign: draining: refusing new leases and submissions, waiting for %d in-flight lease(s)", leased)
+	var waitErr error
+	for {
+		c.queue.ExpireLeases()
+		if _, leased = c.queue.Depth(); leased == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			waitErr = ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+		if waitErr != nil {
+			c.logf("campaign: drain wait expired with %d lease(s) still live; journaling drain anyway", leased)
+			break
+		}
+	}
+	c.mu.Lock()
+	running := 0
+	for _, camp := range c.campaigns {
+		if !camp.status().State.Terminal() {
+			running++
+		}
+	}
+	c.mu.Unlock()
+	if err := c.ctl.Append(ctlDrain, ctlDrainRec{At: time.Now().UTC(), Campaigns: running}); err != nil {
+		c.logf("campaign: control journal append failed (drain will look like a crash): %v", err)
+		return err
+	}
+	c.logf("campaign: drained cleanly (%d campaign(s) still running will re-submit on next boot)", running)
+	return waitErr
+}
+
+// brownoutLoop samples the heap and toggles brownout mode around the
+// watermark: above it, the verification lottery pauses for new cells
+// and scrub passes are skipped; dropping 10%% below re-arms both. The
+// hard refusal level (2× watermark) is checked at submit time.
+func (c *Coordinator) brownoutLoop() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			heap := heapInUse()
+			switch {
+			case !c.brownout.Load() && heap > c.brownoutBytes:
+				c.brownout.Store(true)
+				c.brownouts.Add(1)
+				c.queue.SetVerificationPaused(true)
+				c.logf("campaign: BROWNOUT: heap %d MiB above watermark %d MiB; pausing verification lottery and scrubbing",
+					heap>>20, c.brownoutBytes>>20)
+			case c.brownout.Load() && heap < c.brownoutBytes-c.brownoutBytes/10:
+				c.brownout.Store(false)
+				c.queue.SetVerificationPaused(false)
+				c.logf("campaign: brownout cleared: heap %d MiB back under watermark", heap>>20)
+			}
+		}
+	}
+}
+
+// heapInUse returns the live heap size.
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
 
 // Close cancels every running campaign and stops the expiry collector.
 // Shutdown is not an outcome: no terminal records are journaled, so a
@@ -377,6 +524,82 @@ func (c *Coordinator) expiryLoop() {
 	}
 }
 
+// ErrOverloaded is the sentinel for refused submissions: the coordinator
+// is at its admission limits (or draining) and the caller should retry
+// later. Surfaced to HTTP clients as 429 (or 503 while draining) with a
+// Retry-After header.
+var ErrOverloaded = errors.New("campaign: coordinator overloaded")
+
+// OverloadError is a refusal with a retry hint. errors.Is matches
+// ErrOverloaded.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("campaign: coordinator overloaded: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// admit applies the admission limits to a new submission. Called without
+// c.mu; the counts are advisory (a race admitting one extra campaign is
+// harmless — the limits shed load, they are not invariants).
+func (c *Coordinator) admit() error {
+	if c.draining.Load() {
+		return &OverloadError{Reason: "coordinator is draining", RetryAfter: 5 * time.Second}
+	}
+	if c.maxCampaigns > 0 {
+		running := 0
+		c.mu.Lock()
+		for _, camp := range c.campaigns {
+			camp.mu.Lock()
+			if camp.state == StateRunning {
+				running++
+			}
+			camp.mu.Unlock()
+		}
+		c.mu.Unlock()
+		if running >= c.maxCampaigns {
+			return &OverloadError{
+				Reason:     fmt.Sprintf("%d of %d campaign slots busy", running, c.maxCampaigns),
+				RetryAfter: retryAfterHint(running),
+			}
+		}
+	}
+	if c.maxQueueDepth > 0 {
+		if pending, _ := c.queue.Depth(); pending >= c.maxQueueDepth {
+			return &OverloadError{
+				Reason:     fmt.Sprintf("queue depth %d at limit %d", pending, c.maxQueueDepth),
+				RetryAfter: retryAfterHint(pending / 16),
+			}
+		}
+	}
+	if c.brownoutBytes > 0 {
+		if heap := heapInUse(); heap > 2*c.brownoutBytes {
+			return &OverloadError{
+				Reason:     fmt.Sprintf("heap %d MiB above hard watermark %d MiB", heap>>20, (2*c.brownoutBytes)>>20),
+				RetryAfter: 10 * time.Second,
+			}
+		}
+	}
+	return nil
+}
+
+// retryAfterHint scales the Retry-After hint with the backlog, clamped
+// to [1s, 30s].
+func retryAfterHint(backlog int) time.Duration {
+	d := time.Duration(backlog) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
 // Submit validates spec, registers a campaign, and starts executing it
 // asynchronously. The returned status carries the assigned campaign ID.
 func (c *Coordinator) Submit(spec Spec) (Status, error) {
@@ -404,25 +627,47 @@ func (c *Coordinator) SubmitKeyed(spec Spec, key string) (Status, error) {
 	if err := spec.Validate(); err != nil {
 		return Status{}, err
 	}
-	return c.launch(spec, "", key, true)
+	// Admission limits apply to genuinely new work only: idempotent
+	// re-submissions returned above, and recovery re-submissions call
+	// launch directly (refusing to recover journaled work would turn a
+	// restart into data loss).
+	if err := c.admit(); err != nil {
+		c.rejected.Add(1)
+		c.logf("campaign: submission refused: %v", err)
+		return Status{}, err
+	}
+	return c.launch(spec, "", key, true, time.Time{})
 }
 
 // launch registers and starts one campaign. forcedID non-empty re-uses a
-// journaled identity during recovery; journal=false suppresses the
+// journaled identity during recovery, with created restoring the
+// original submission time (zero = now); journal=false suppresses the
 // submit record (recovery replays existing records, it does not mint new
 // ones).
-func (c *Coordinator) launch(spec Spec, forcedID, key string, journal bool) (Status, error) {
+func (c *Coordinator) launch(spec Spec, forcedID, key string, journal bool, created time.Time) (Status, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	engine := sweep.New(spec.Parallelism)
 	engine.SetStore(c.store)
 
+	if created.IsZero() {
+		created = time.Now().UTC()
+	}
 	camp := &Campaign{
 		spec:    spec,
 		engine:  engine,
 		cancel:  cancel,
 		state:   StateRunning,
-		created: time.Now().UTC(),
+		created: created,
 		expErrs: make(map[string]string),
+	}
+	if spec.Deadline > 0 {
+		// The budget counts from first submission: a recovered campaign
+		// keeps its journaled creation time, so a restart cannot launder
+		// an expired deadline back to life.
+		camp.deadline = created.Add(spec.Deadline)
+		dctx, dcancel := context.WithDeadline(ctx, camp.deadline)
+		ctx = dctx
+		camp.cancel = func() { dcancel(); cancel() }
 	}
 
 	c.mu.Lock()
@@ -489,7 +734,7 @@ func (c *Coordinator) run(ctx context.Context, camp *Campaign) {
 	defer camp.cancel()
 	p := camp.spec.params()
 	p.Engine = camp.engine
-	canceled := false
+	canceled, expired := false, false
 	for _, name := range camp.spec.Experiments {
 		runner, err := experiments.Lookup(name) // validated at submit; a miss here is a bug
 		if err != nil {
@@ -498,7 +743,12 @@ func (c *Coordinator) run(ctx context.Context, camp *Campaign) {
 		}
 		table, err := runner(ctx, p)
 		if ctx.Err() != nil {
-			canceled = true
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				expired = true
+				c.logf("campaign %s: deadline %v exceeded; failing with partial tables", camp.id, camp.spec.Deadline)
+			} else {
+				canceled = true
+			}
 			break
 		}
 		if err != nil {
@@ -509,7 +759,7 @@ func (c *Coordinator) run(ctx context.Context, camp *Campaign) {
 		camp.experimentDone(name, table)
 		c.logf("campaign %s: %s done", camp.id, name)
 	}
-	camp.finish(canceled)
+	camp.finish(canceled, expired)
 	c.journalTerminal(camp)
 	if err := camp.journal.Err(); err != nil {
 		c.logf("campaign %s: journal writes failed (results are still persisted): %v", camp.id, err)
@@ -547,7 +797,13 @@ func (c *Coordinator) journalTerminal(camp *Campaign) {
 func (c *Coordinator) delegate(ctx context.Context, camp *Campaign) func(sweep.Cell) (*machine.Result, error) {
 	return func(cell sweep.Cell) (*machine.Result, error) {
 		ch := make(chan Outcome, 1)
-		digest, wid := c.queue.Enqueue(cell, camp.spec.Retries+1, camp.spec.CellTimeout, ch)
+		digest, wid := c.queue.EnqueueOpts(cell, EnqueueOptions{
+			MaxAttempts: camp.spec.Retries + 1,
+			CellTimeout: camp.spec.CellTimeout,
+			Campaign:    camp.id,
+			Weight:      camp.spec.Priority.weight(),
+			Deadline:    camp.deadline,
+		}, ch)
 		camp.cellDelegated()
 		select {
 		case out := <-ch:
@@ -734,6 +990,11 @@ func (c *Coordinator) scrubLoop(interval time.Duration) {
 		case <-c.stop:
 			return
 		case <-tick.C:
+			if c.brownout.Load() {
+				// Scrubbing re-reads every object at rest — exactly the
+				// kind of amplification a brownout sheds first.
+				continue
+			}
 			rep, err := c.store.Scrub()
 			if err != nil {
 				c.logf("campaign: store scrub failed: %v", err)
@@ -816,11 +1077,18 @@ func (camp *Campaign) experimentFailed(name string, err error) {
 	camp.mu.Unlock()
 }
 
-func (camp *Campaign) finish(canceled bool) {
+func (camp *Campaign) finish(canceled, expired bool) {
 	camp.mu.Lock()
 	defer camp.mu.Unlock()
 	camp.finished = time.Now().UTC()
 	switch {
+	case expired:
+		// A blown deadline is an outcome, not a shutdown: the campaign
+		// fails terminally (journaled, never re-submitted) and the
+		// tables finished in time stay fetchable.
+		camp.state = StateFailed
+		camp.err = fmt.Sprintf("deadline %v exceeded with %d of %d experiments finished; partial tables available",
+			camp.spec.Deadline, camp.expDone-len(camp.expErrs), len(camp.spec.Experiments))
 	case canceled:
 		camp.state = StateCanceled
 		camp.err = "canceled"
@@ -850,6 +1118,7 @@ func (camp *Campaign) status() Status {
 		Created:          camp.created,
 		Finished:         camp.finished,
 		Recovered:        camp.recovered,
+		Deadline:         camp.deadline,
 	}
 	st.Cells.CacheHits = es.CacheHits
 	st.Cells.StoreHits = es.StoreHits

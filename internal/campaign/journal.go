@@ -26,18 +26,26 @@ import (
 //	cancel     {id, at}                   explicit cancellation requested
 //	terminal   {id, state, error?, at}    campaign reached a final state
 //	quarantine {worker, reason, at}       worker reputation quarantine
+//	drain      {at}                       graceful shutdown completed
 //
-// A graceful-or-violent coordinator shutdown writes no terminal record
-// for running campaigns: a shutdown is not an outcome, so replay
-// re-submits them. Only an explicit Cancel (journaled immediately, in
-// case the process dies before the campaign unwinds) and genuine
-// done/failed completions are final. Quarantines are final too: a worker
-// caught publishing wrong answers stays quarantined across restarts.
+// A coordinator shutdown writes no terminal record for running
+// campaigns: a shutdown is not an outcome, so replay re-submits them.
+// Only an explicit Cancel (journaled immediately, in case the process
+// dies before the campaign unwinds) and genuine done/failed completions
+// are final. Quarantines are final too: a worker caught publishing
+// wrong answers stays quarantined across restarts.
+//
+// A drain record as the journal's final entry marks a clean shutdown: a
+// SIGTERM'd coordinator stopped granting leases, let in-flight leases
+// finish or expire, and exited on purpose. The successor distinguishes
+// drain from crash (Health.CleanShutdown) — the re-submission semantics
+// are unchanged either way, the record is evidence, not behavior.
 const (
 	ctlSubmit     = "submit"
 	ctlCancel     = "cancel"
 	ctlTerminal   = "terminal"
 	ctlQuarantine = "quarantine"
+	ctlDrain      = "drain"
 )
 
 // ctlSubmitRec journals an accepted campaign with its assigned ID and,
@@ -70,6 +78,16 @@ type ctlQuarantineRec struct {
 	At     time.Time `json:"at"`
 }
 
+// ctlDrainRec journals a completed graceful drain: the final record of a
+// cleanly shut-down coordinator.
+type ctlDrainRec struct {
+	At time.Time `json:"at"`
+	// Campaigns counts campaigns still running at drain time (they
+	// re-submit on the next boot; the drain only guarantees no lease was
+	// abandoned mid-flight).
+	Campaigns int `json:"campaigns,omitempty"`
+}
+
 // ctlCampaign is one campaign's journaled history after replay.
 type ctlCampaign struct {
 	submit   ctlSubmitRec
@@ -88,7 +106,15 @@ type ctlReplay struct {
 	quarantines []ctlQuarantineRec
 	// corrupt counts skipped torn/bit-flipped records.
 	corrupt int
+	// lastType is the type of the final intact record — a drain there
+	// means the previous process shut down cleanly.
+	lastType string
 }
+
+// cleanShutdown reports whether the journal ends with a drain record,
+// i.e. the previous coordinator exited through a graceful drain rather
+// than a crash.
+func (r *ctlReplay) cleanShutdown() bool { return r.lastType == ctlDrain }
 
 // resubmit returns the campaigns that were running when the previous
 // process died: submitted, never cancelled, no terminal record.
@@ -126,6 +152,7 @@ func (r *ctlReplay) maxSeq() int {
 func replayControlLog(path string) (*ctlReplay, error) {
 	rep := &ctlReplay{byID: make(map[string]*ctlCampaign)}
 	_, corrupt, err := store.ReplayLog(path, func(typ string, data json.RawMessage) {
+		rep.lastType = typ
 		switch typ {
 		case ctlSubmit:
 			var rec ctlSubmitRec

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"secmgpu/internal/machine"
+	"secmgpu/internal/metrics"
 	"secmgpu/internal/sweep"
 )
 
@@ -83,6 +84,19 @@ type task struct {
 	// wall time; the most lenient enqueuer wins (0 = unbounded).
 	cellTimeout time.Duration
 
+	// bucket names the fairness bucket (campaign) the task schedules
+	// under; a shared cell moves to the highest-weight waiter's bucket.
+	bucket string
+
+	// deadline is the absolute point past which the work is worthless to
+	// every waiter (zero = none; the most lenient waiter wins). It rides
+	// on lease grants so workers bound their simulation contexts.
+	deadline time.Time
+
+	// queuedAt stamps the last transition into taskPending, feeding the
+	// per-bucket queue-wait histogram at grant time.
+	queuedAt time.Time
+
 	// verify marks the task for quorum verification: it needs `needed`
 	// agreeing independent executions instead of one. Set at enqueue by
 	// the verify fraction, by Requeue, or permanently once any publish
@@ -91,8 +105,12 @@ type task struct {
 	needed int
 	votes  []vote
 
-	// lease is the live lease when state == taskLeased.
+	// lease is the primary live lease when state == taskLeased; hedge is
+	// a speculative second lease granted when the primary looks like a
+	// straggler. Either may publish; the first admitted result wins and
+	// the other resolves as a benign duplicate.
 	lease *lease
+	hedge *lease
 
 	// waiters are delivery channels keyed by waiter ID; each channel has
 	// capacity 1 and receives exactly one Outcome.
@@ -112,6 +130,8 @@ type lease struct {
 	digest   string
 	worker   string
 	deadline time.Time
+	granted  time.Time // grant instant, for lease-age (hedging) and duration stats
+	hedge    bool      // true for a speculative straggler hedge
 }
 
 // tomb remembers a dead lease (completed, failed, or expired) so a
@@ -147,6 +167,14 @@ type Grant struct {
 	TTL time.Duration
 	// CellTimeout bounds the cell's simulation wall time (0 = unbounded).
 	CellTimeout time.Duration
+	// Deadline, when non-zero, is the absolute point past which no
+	// waiter wants the result; workers bound their simulation context by
+	// it so doomed work cancels instead of running to completion.
+	Deadline time.Time
+	// Hedge marks a speculative re-lease of a cell whose primary lease
+	// looks like a straggler. Execution is identical; the flag is
+	// informational (logs, stats).
+	Hedge bool
 	// Attempt is 1 for the first execution of this cell, higher after
 	// failures or expiries.
 	Attempt int
@@ -173,6 +201,12 @@ type QueueStats struct {
 	// Abandoned counts pending tasks pruned because no campaign waits
 	// on them anymore.
 	Abandoned int
+
+	// Hedged counts speculative second leases granted against straggling
+	// primaries; HedgeWins counts hedges whose publish was admitted
+	// before the primary's.
+	Hedged    int
+	HedgeWins int
 
 	// VerifiedCells counts tasks selected for quorum verification.
 	VerifiedCells int
@@ -322,22 +356,81 @@ type CompleteResult struct {
 	Worker string
 }
 
+// Fairness weights for the three campaign priorities. Stride scheduling
+// grants buckets in inverse proportion to their stride, so a high bucket
+// gets 16 grants for every low bucket's 1 when both are backlogged.
+const (
+	weightLow    = 1
+	weightNormal = 4
+	weightHigh   = 16
+	// strideUnit is divisible by every weight, keeping passes exact.
+	strideUnit = 960
+)
+
+// latencyBoundsMS are the shared bucket bounds (milliseconds) for the
+// queue-wait and lease-duration histograms surfaced on /v1/healthz.
+var latencyBoundsMS = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// bucketState is one fairness bucket: a campaign (or the "" default
+// bucket for legacy enqueues) with a stride-scheduler pass value and the
+// latency evidence for its tasks. Intra-bucket order stays FIFO via the
+// queue-wide pending list.
+type bucketState struct {
+	name   string
+	weight int
+	seq    int     // creation order, the deterministic pass tie-break
+	pass   float64 // stride virtual time consumed by this bucket's grants
+	grants int
+
+	waitHist  *metrics.Histogram // enqueue→grant, ms
+	leaseHist *metrics.Histogram // grant→admitted publish, ms
+}
+
+// CampaignLatency is one bucket's latency evidence on /v1/healthz: how
+// long its cells waited for a lease and how long leases ran.
+type CampaignLatency struct {
+	Campaign string             `json:"campaign"`
+	Weight   int                `json:"weight"`
+	Grants   int                `json:"grants"`
+	WaitMS   *metrics.Histogram `json:"wait_ms"`
+	LeaseMS  *metrics.Histogram `json:"lease_ms"`
+}
+
 // Queue is the coordinator's lease-based work queue. All methods are safe
 // for concurrent use. Time is injectable for tests.
 type Queue struct {
 	mu      sync.Mutex
 	tasks   map[string]*task
-	pending []string // FIFO of pending task digests
+	pending []string // FIFO of pending task digests (intra-bucket order)
 	leases  map[string]*lease
 	tombs   map[string]tomb
 	tombLog []string // insertion order, capped at maxLeaseTombs
 	ttl     time.Duration
 	now     func() time.Time
 
+	// buckets are the weighted-fair scheduling groups; vtime is the pass
+	// of the most recent grant, the join point for idle buckets so a
+	// returning bucket cannot monopolize grants with a stale low pass.
+	buckets map[string]*bucketState
+	vtime   float64
+
 	// verifyFraction in [0,1] selects cells for quorum verification by
 	// their digest; quorum is how many votes a verified cell needs.
+	// verifyPaused suspends the lottery for new enqueues (brownout mode);
+	// cells already selected keep their quorum requirement.
 	verifyFraction float64
 	quorum         int
+	verifyPaused   bool
+
+	// Hedging: once hedgeMin completed lease durations are on record, a
+	// primary lease older than hedgeFactor × the hedgePct quantile is
+	// speculatively re-leased to a second worker. hedgeFactor < 0
+	// disables hedging.
+	hedgePct    float64
+	hedgeFactor float64
+	hedgeMin    int
+	hedgeDurs   []time.Duration // ring of completed lease durations
+	hedgePos    int
 
 	// divergenceLimit / zombieLimit quarantine a worker once its strike
 	// counters reach them (0 disables that limit).
@@ -359,14 +452,47 @@ func NewQueue(ttl time.Duration) *Queue {
 		ttl = 30 * time.Second
 	}
 	return &Queue{
-		tasks:   make(map[string]*task),
-		leases:  make(map[string]*lease),
-		tombs:   make(map[string]tomb),
-		workers: make(map[string]*workerRec),
-		ttl:     ttl,
-		quorum:  2,
-		now:     time.Now,
+		tasks:       make(map[string]*task),
+		leases:      make(map[string]*lease),
+		tombs:       make(map[string]tomb),
+		workers:     make(map[string]*workerRec),
+		buckets:     make(map[string]*bucketState),
+		ttl:         ttl,
+		quorum:      2,
+		hedgePct:    0.95,
+		hedgeFactor: 2,
+		hedgeMin:    8,
+		now:         time.Now,
 	}
+}
+
+// ConfigureHedging tunes the straggler-hedging rule: a primary lease
+// older than factor × the pct quantile of completed lease durations is
+// speculatively re-leased once minSamples durations are on record.
+// Non-positive arguments keep their defaults (0.95, 2, 8); a negative
+// factor disables hedging entirely.
+func (q *Queue) ConfigureHedging(pct, factor float64, minSamples int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if pct > 0 && pct < 1 {
+		q.hedgePct = pct
+	}
+	if factor != 0 {
+		q.hedgeFactor = factor
+	}
+	if minSamples > 0 {
+		q.hedgeMin = minSamples
+	}
+}
+
+// SetVerificationPaused suspends (or resumes) the quorum-verification
+// lottery for newly enqueued cells — the brownout lever: under memory
+// pressure the coordinator stops amplifying work before it starts
+// refusing it. Cells already selected keep their quorum requirement.
+func (q *Queue) SetVerificationPaused(paused bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.verifyPaused = paused
 }
 
 // ConfigureVerification sets the fraction of cells selected for quorum
@@ -466,28 +592,67 @@ func (q *Queue) Depth() (pending, leased int) {
 	return pending, leased
 }
 
-// Enqueue adds a cell (identified by its digest) and registers ch to
+// EnqueueOptions shapes how an enqueued cell schedules.
+type EnqueueOptions struct {
+	// MaxAttempts bounds execution attempts (minimum 1; a more generous
+	// budget raises an existing task's bound).
+	MaxAttempts int
+	// CellTimeout bounds the cell's simulation wall time on lease grants
+	// (0 = unbounded; the most lenient enqueuer wins).
+	CellTimeout time.Duration
+	// Campaign names the fairness bucket; "" shares the default bucket.
+	Campaign string
+	// Weight is the bucket's stride weight (<= 0 selects weightNormal).
+	Weight int
+	// Deadline, when non-zero, marks the work worthless past that point;
+	// the most lenient waiter wins (a waiter without a deadline clears
+	// an existing one).
+	Deadline time.Time
+}
+
+// Enqueue adds a cell under default scheduling (shared bucket, normal
+// weight, no deadline). See EnqueueOpts.
+func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Duration, ch chan<- Outcome) (digest string, waiterID int) {
+	return q.EnqueueOpts(cell, EnqueueOptions{MaxAttempts: maxAttempts, CellTimeout: cellTimeout}, ch)
+}
+
+// EnqueueOpts adds a cell (identified by its digest) and registers ch to
 // receive its Outcome. If an identical task is already queued, leased, or
 // finished, the call coalesces onto it: a finished task delivers
-// immediately, otherwise ch is added to the waiter set. maxAttempts
-// bounds execution attempts (a more generous budget raises an existing
-// task's bound) and cellTimeout travels with the task's lease grants
-// (the most lenient enqueuer wins). The returned waiter ID cancels the
-// interest via Abandon. ch must have capacity >= 1; it receives exactly
-// one Outcome unless abandoned first.
-func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Duration, ch chan<- Outcome) (digest string, waiterID int) {
+// immediately, otherwise ch is added to the waiter set. Budgets merge in
+// the waiters' favor: the most generous attempt budget, the most lenient
+// cell timeout and deadline, the highest-weight bucket. The returned
+// waiter ID cancels the interest via Abandon. ch must have capacity
+// >= 1; it receives exactly one Outcome unless abandoned first.
+func (q *Queue) EnqueueOpts(cell sweep.Cell, opts EnqueueOptions, ch chan<- Outcome) (digest string, waiterID int) {
+	maxAttempts := opts.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
+	}
+	weight := opts.Weight
+	if weight <= 0 {
+		weight = weightNormal
 	}
 	digest = cell.Key().Digest()
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	b := q.bucketLocked(opts.Campaign, weight)
 	q.nextWaiter++
 	waiterID = q.nextWaiter
 	if t, ok := q.tasks[digest]; ok {
 		q.stats.Deduped++
-		if cellTimeout == 0 || (t.cellTimeout != 0 && cellTimeout > t.cellTimeout) {
-			t.cellTimeout = cellTimeout
+		if opts.CellTimeout == 0 || (t.cellTimeout != 0 && opts.CellTimeout > t.cellTimeout) {
+			t.cellTimeout = opts.CellTimeout
+		}
+		// Most lenient deadline wins: a waiter without one clears it.
+		if opts.Deadline.IsZero() {
+			t.deadline = time.Time{}
+		} else if !t.deadline.IsZero() && opts.Deadline.After(t.deadline) {
+			t.deadline = opts.Deadline
+		}
+		// A shared cell schedules at its most urgent waiter's priority.
+		if cur := q.buckets[t.bucket]; cur == nil || b.weight > cur.weight {
+			t.bucket = b.name
 		}
 		switch t.state {
 		case taskDone:
@@ -495,12 +660,11 @@ func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Durat
 		case taskFailed:
 			// A fresh campaign gets a fresh chance: revive the task
 			// rather than replaying a stale failure.
-			t.state = taskPending
 			t.attempts = 0
 			t.err = nil
 			t.maxAttempts = maxAttempts
 			t.waiters[waiterID] = ch
-			q.pending = append(q.pending, digest)
+			q.requeueLocked(t)
 		default:
 			if maxAttempts > t.maxAttempts {
 				t.maxAttempts = maxAttempts
@@ -514,10 +678,13 @@ func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Durat
 		cell:        cell,
 		state:       taskPending,
 		maxAttempts: maxAttempts,
-		cellTimeout: cellTimeout,
+		cellTimeout: opts.CellTimeout,
+		bucket:      b.name,
+		deadline:    opts.Deadline,
+		queuedAt:    q.now(),
 		waiters:     map[int]chan<- Outcome{waiterID: ch},
 	}
-	if q.verifyFraction > 0 && digestFraction(digest) < q.verifyFraction {
+	if !q.verifyPaused && q.verifyFraction > 0 && digestFraction(digest) < q.verifyFraction {
 		t.verify = true
 		t.needed = q.quorum
 		q.stats.VerifiedCells++
@@ -526,6 +693,40 @@ func (q *Queue) Enqueue(cell sweep.Cell, maxAttempts int, cellTimeout time.Durat
 	q.pending = append(q.pending, digest)
 	q.stats.Enqueued++
 	return digest, waiterID
+}
+
+// bucketLocked returns (creating if needed) the named fairness bucket. A
+// new or returning bucket joins at the current virtual time so an idle
+// spell does not bank grants. An existing bucket's weight only rises —
+// the shared "" bucket keeps its most urgent claim.
+func (q *Queue) bucketLocked(name string, weight int) *bucketState {
+	b, ok := q.buckets[name]
+	if !ok {
+		b = &bucketState{
+			name:      name,
+			weight:    weight,
+			seq:       len(q.buckets),
+			pass:      q.vtime,
+			waitHist:  metrics.NewHistogram(latencyBoundsMS...),
+			leaseHist: metrics.NewHistogram(latencyBoundsMS...),
+		}
+		q.buckets[name] = b
+	} else if weight > b.weight {
+		b.weight = weight
+	}
+	return b
+}
+
+// requeueLocked returns a task to pending: stamps the wait clock, lifts
+// its bucket's pass to the current virtual time if it went idle, and
+// appends to the FIFO.
+func (q *Queue) requeueLocked(t *task) {
+	t.state = taskPending
+	t.queuedAt = q.now()
+	if b := q.buckets[t.bucket]; b != nil && b.pass < q.vtime {
+		b.pass = q.vtime
+	}
+	q.pending = append(q.pending, t.digest)
 }
 
 // digestFraction maps a hex digest onto [0,1) using its leading 52 bits,
@@ -553,7 +754,6 @@ func (q *Queue) Requeue(digest string) (cell sweep.Cell, ok bool) {
 	if !found || t.state != taskDone {
 		return sweep.Cell{}, false
 	}
-	t.state = taskPending
 	if !t.verify {
 		t.verify = true
 		q.stats.VerifiedCells++
@@ -566,7 +766,7 @@ func (q *Queue) Requeue(digest string) (cell sweep.Cell, ok bool) {
 	if t.maxAttempts < 2 {
 		t.maxAttempts = 2
 	}
-	q.pending = append(q.pending, digest)
+	q.requeueLocked(t)
 	q.stats.Reverifies++
 	return t.cell, true
 }
@@ -593,14 +793,24 @@ func (q *Queue) Abandon(digest string, waiterID int) {
 // remote workers) when the worker's reputation put it in quarantine.
 var ErrWorkerQuarantined = fmt.Errorf("campaign: worker quarantined")
 
-// Lease grants the oldest pending task to worker under a fresh lease, or
-// reports ok=false when nothing is pending. Expired leases are collected
+// Lease grants a pending task to worker under a fresh lease, or reports
+// ok=false when nothing is grantable. Expired leases are collected
 // first, so a crashed worker's task is grantable as soon as its TTL
-// lapses. A quarantined worker gets ErrWorkerQuarantined. For cells under
-// quorum verification, tasks the worker has not yet voted on are
-// preferred, so votes come from independent workers when the fleet
-// allows it; a lone worker still makes progress (ties escalate to the
-// coordinator-side arbiter instead of deadlocking).
+// lapses. A quarantined worker gets ErrWorkerQuarantined.
+//
+// Selection is weighted-fair across campaign buckets: the eligible
+// bucket with the lowest stride pass wins (ties break by creation
+// order) and is charged strideUnit/weight, so a huge low-priority
+// campaign cannot starve a small interactive one. Within a bucket,
+// order stays FIFO. For cells under quorum verification, tasks the
+// worker has not yet voted on are preferred, so votes come from
+// independent workers when the fleet allows it; a lone worker still
+// makes progress (ties escalate to the coordinator-side arbiter instead
+// of deadlocking).
+//
+// With nothing pending, an idle worker may instead receive a hedge: a
+// speculative second lease on a cell whose primary lease has outlived
+// the straggler threshold (see ConfigureHedging).
 func (q *Queue) Lease(worker string) (Grant, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -609,7 +819,12 @@ func (q *Queue) Lease(worker string) (Grant, bool, error) {
 	if rec.quarantined {
 		return Grant{}, false, fmt.Errorf("%w: %s", ErrWorkerQuarantined, rec.reason)
 	}
-	pick, fallback := -1, -1
+
+	// One pass over the FIFO: prune dead entries and remember, per
+	// bucket, the first grantable index (preferring tasks the worker has
+	// not voted on; voted tasks are fallbacks).
+	type candidate struct{ pick, fallback int }
+	cands := make(map[string]*candidate)
 	kept := q.pending[:0]
 	for _, digest := range q.pending {
 		t, ok := q.tasks[digest]
@@ -617,50 +832,209 @@ func (q *Queue) Lease(worker string) (Grant, bool, error) {
 			continue // pruned or completed entries fall out here
 		}
 		kept = append(kept, digest)
-		if pick >= 0 {
+		c, ok := cands[t.bucket]
+		if !ok {
+			c = &candidate{pick: -1, fallback: -1}
+			cands[t.bucket] = c
+		}
+		if c.pick >= 0 {
 			continue
 		}
 		if t.verify && t.votedBy(worker) {
-			if fallback < 0 {
-				fallback = len(kept) - 1
+			if c.fallback < 0 {
+				c.fallback = len(kept) - 1
 			}
 			continue
 		}
-		pick = len(kept) - 1
+		c.pick = len(kept) - 1
 	}
 	q.pending = kept
-	if pick < 0 {
-		pick = fallback
+
+	// Weighted-fair choice: lowest pass among buckets with a preferred
+	// candidate; buckets holding only already-voted work are a second
+	// tier so independence is preserved across bucket lines.
+	chooseBucket := func(useFallback bool) *bucketState {
+		var best *bucketState
+		for name, c := range cands {
+			idx := c.pick
+			if useFallback {
+				idx = c.fallback
+			}
+			if idx < 0 {
+				continue
+			}
+			b := q.buckets[name]
+			if b == nil { // legacy task with no registered bucket
+				b = q.bucketLocked(name, weightNormal)
+			}
+			if best == nil || b.pass < best.pass || (b.pass == best.pass && b.seq < best.seq) {
+				best = b
+			}
+		}
+		return best
 	}
-	if pick < 0 {
-		return Grant{}, false, nil
+	b := chooseBucket(false)
+	useFallback := false
+	if b == nil {
+		b = chooseBucket(true)
+		useFallback = true
 	}
-	digest := q.pending[pick]
-	q.pending = append(q.pending[:pick], q.pending[pick+1:]...)
+	if b == nil {
+		return q.hedgeLocked(worker, rec)
+	}
+	c := cands[b.name]
+	idx := c.pick
+	if useFallback {
+		idx = c.fallback
+	}
+	digest := q.pending[idx]
+	q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
 	t := q.tasks[digest]
+
+	q.vtime = b.pass
+	b.pass += strideUnit / float64(b.weight)
+	b.grants++
+	if wait := q.now().Sub(t.queuedAt); wait >= 0 && !t.queuedAt.IsZero() {
+		b.waitHist.Observe(uint64(wait / time.Millisecond))
+	}
+
+	l := q.mintLeaseLocked(digest, worker, false)
+	t.state = taskLeased
+	t.lease = l
+	q.stats.Leased++
+	rec.leased++
+	return q.grantLocked(t, l), true, nil
+}
+
+// mintLeaseLocked creates and registers a fresh lease on digest.
+func (q *Queue) mintLeaseLocked(digest, worker string, hedge bool) *lease {
 	q.nextLease++
+	now := q.now()
 	l := &lease{
 		id:       fmt.Sprintf("l%06d", q.nextLease),
 		fence:    newFence(),
 		digest:   digest,
 		worker:   worker,
-		deadline: q.now().Add(q.ttl),
+		deadline: now.Add(q.ttl),
+		granted:  now,
+		hedge:    hedge,
 	}
-	t.state = taskLeased
-	t.lease = l
 	q.leases[l.id] = l
-	q.stats.Leased++
-	rec.leased++
+	return l
+}
+
+// grantLocked renders a lease as the worker-facing Grant.
+func (q *Queue) grantLocked(t *task, l *lease) Grant {
 	return Grant{
 		Lease:       l.id,
 		Fence:       l.fence,
-		Digest:      digest,
+		Digest:      t.digest,
 		Cell:        t.cell,
 		Verify:      t.verify,
 		TTL:         q.ttl,
 		CellTimeout: t.cellTimeout,
+		Deadline:    t.deadline,
+		Hedge:       l.hedge,
 		Attempt:     t.attempts + 1,
-	}, true, nil
+	}
+}
+
+// hedgeLocked considers granting a speculative second lease to an idle
+// worker: the leased task whose primary lease is oldest, provided that
+// age exceeds the straggler threshold, the task is not under quorum
+// verification (verified cells already run multiply), and the primary
+// belongs to a different worker.
+func (q *Queue) hedgeLocked(worker string, rec *workerRec) (Grant, bool, error) {
+	threshold := q.hedgeThresholdLocked()
+	if threshold <= 0 {
+		return Grant{}, false, nil
+	}
+	now := q.now()
+	var best *task
+	var bestAge time.Duration
+	for _, l := range q.leases {
+		t, ok := q.tasks[l.digest]
+		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != l.id {
+			continue // only primaries are hedgeable
+		}
+		if t.hedge != nil || t.verify || l.worker == worker {
+			continue
+		}
+		if age := now.Sub(l.granted); age >= threshold && (best == nil || age > bestAge) {
+			best, bestAge = t, age
+		}
+	}
+	if best == nil {
+		return Grant{}, false, nil
+	}
+	l := q.mintLeaseLocked(best.digest, worker, true)
+	best.hedge = l
+	q.stats.Leased++
+	q.stats.Hedged++
+	rec.leased++
+	return q.grantLocked(best, l), true, nil
+}
+
+// hedgeThresholdLocked computes the current straggler threshold, or 0
+// when hedging is disabled or the sample base is too thin.
+func (q *Queue) hedgeThresholdLocked() time.Duration {
+	if q.hedgeFactor < 0 || len(q.hedgeDurs) < q.hedgeMin {
+		return 0
+	}
+	durs := make([]time.Duration, len(q.hedgeDurs))
+	copy(durs, q.hedgeDurs)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	idx := int(float64(len(durs)) * q.hedgePct)
+	if idx >= len(durs) {
+		idx = len(durs) - 1
+	}
+	threshold := time.Duration(float64(durs[idx]) * q.hedgeFactor)
+	if threshold <= 0 {
+		return 0
+	}
+	return threshold
+}
+
+// observeLeaseLocked records a completed lease's duration: into the
+// task's bucket histogram and the hedging sample ring.
+func (q *Queue) observeLeaseLocked(t *task, l *lease) {
+	dur := q.now().Sub(l.granted)
+	if dur < 0 || l.granted.IsZero() {
+		return
+	}
+	if b := q.buckets[t.bucket]; b != nil {
+		b.leaseHist.Observe(uint64(dur / time.Millisecond))
+	}
+	const hedgeRing = 256
+	if len(q.hedgeDurs) < hedgeRing {
+		q.hedgeDurs = append(q.hedgeDurs, dur)
+		return
+	}
+	q.hedgeDurs[q.hedgePos] = dur
+	q.hedgePos = (q.hedgePos + 1) % hedgeRing
+}
+
+// Latencies returns per-campaign latency evidence: queue-wait and
+// lease-duration histograms, cloned so callers can serialize without
+// racing the queue. Buckets that never granted are omitted.
+func (q *Queue) Latencies() []CampaignLatency {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]CampaignLatency, 0, len(q.buckets))
+	for _, b := range q.buckets {
+		if b.grants == 0 {
+			continue
+		}
+		out = append(out, CampaignLatency{
+			Campaign: b.name,
+			Weight:   b.weight,
+			Grants:   b.grants,
+			WaitMS:   b.waitHist.Clone(),
+			LeaseMS:  b.leaseHist.Clone(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Campaign < out[j].Campaign })
+	return out
 }
 
 // newFence mints an unguessable fencing token.
@@ -718,9 +1092,11 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 	q.expireLocked()
 
 	var worker, fence string
+	var pubLease *lease
 	live := false
 	if l, ok := q.leases[pub.Lease]; ok {
 		worker, fence, live = l.worker, l.fence, true
+		pubLease = l
 	} else if tb, ok := q.tombs[pub.Lease]; ok {
 		worker, fence = tb.worker, tb.fence
 	}
@@ -739,9 +1115,7 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 	if t.state == taskDone {
 		if live {
 			q.dropLeaseLocked(pub.Lease)
-			if t.lease != nil && t.lease.id == pub.Lease {
-				t.lease = nil
-			}
+			t.detach(pub.Lease)
 		}
 		if pub.Canonical != "" && pub.Canonical == t.resDigest {
 			q.stats.LatePublishes++
@@ -775,7 +1149,7 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 		return CompleteResult{Verdict: VerdictZombie, Reason: "lease " + pub.Lease + " is not live", Worker: worker}
 	}
 
-	if pub.Fence != fence || t.state != taskLeased || t.lease == nil || t.lease.id != pub.Lease {
+	if pub.Fence != fence || t.state != taskLeased || !t.holds(pub.Lease) {
 		// Wrong token (or a stale lease record that no longer backs the
 		// task). Reject without dropping the live lease: a forger must
 		// not be able to evict the legitimate holder.
@@ -786,18 +1160,22 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 	if pub.ResultDigest != "" && pub.ResultDigest != pub.Canonical {
 		// The worker's attestation disagrees with the bytes it shipped:
 		// corruption in flight or a lying worker. Requeue without
-		// burning an attempt — the cell itself is fine.
+		// burning an attempt — the cell itself is fine. A surviving
+		// sibling lease (hedge or primary) keeps the task leased.
 		q.stats.DigestMismatches++
 		q.dropLeaseLocked(pub.Lease)
-		t.lease = nil
-		t.state = taskPending
-		q.pending = append(q.pending, pub.Digest)
+		t.detach(pub.Lease)
+		if t.lease == nil {
+			q.requeueLocked(t)
+		}
 		q.strikeDivergenceLocked(worker, "attested digest does not match payload for cell "+t.cell.Label)
 		return CompleteResult{Verdict: VerdictDigestMismatch, Reason: "attested digest does not match payload", Worker: worker}
 	}
 
+	wasHedge := t.hedge != nil && t.hedge.id == pub.Lease
+	q.observeLeaseLocked(t, pubLease)
 	q.dropLeaseLocked(pub.Lease)
-	t.lease = nil
+	t.detach(pub.Lease)
 
 	if t.verify {
 		t.votes = append(t.votes, vote{worker: worker, digest: pub.Canonical, res: pub.Result})
@@ -805,6 +1183,15 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 		return q.tallyLocked(t)
 	}
 
+	// Retire any sibling lease so the straggler's eventual publish is
+	// judged by the done-task rules (benign duplicate or divergence).
+	if t.lease != nil {
+		q.dropLeaseLocked(t.lease.id)
+		t.lease = nil
+	}
+	if wasHedge {
+		q.stats.HedgeWins++
+	}
 	q.workerLocked(worker).completed++
 	return q.admitLocked(t, pub.Canonical, pub.Result)
 }
@@ -815,8 +1202,7 @@ func (q *Queue) Complete(pub Publish) CompleteResult {
 // agreeing executions); a tie escalates to the coordinator arbiter.
 func (q *Queue) tallyLocked(t *task) CompleteResult {
 	if len(t.votes) < t.needed {
-		t.state = taskPending
-		q.pending = append(q.pending, t.digest)
+		q.requeueLocked(t)
 		return CompleteResult{Verdict: VerdictVoteRecorded}
 	}
 	latest := make(map[string]string, len(t.votes))
@@ -873,8 +1259,7 @@ func (q *Queue) ArbiterFailed(digest string) {
 		return
 	}
 	t.votes = nil
-	t.state = taskPending
-	q.pending = append(q.pending, digest)
+	q.requeueLocked(t)
 }
 
 // admitLocked finalizes a task with the admitted result, delivers it to
@@ -905,7 +1290,9 @@ func (q *Queue) admitLocked(t *task, resDigest string, res *machine.Result) Comp
 // Fail reports a worker-side execution failure. A failure under a stale
 // lease is ignored (the task was already requeued or completed). Within
 // the attempt budget the task requeues; exhausting it delivers the error
-// to every waiter.
+// to every waiter. When a sibling lease (hedge or primary) survives, the
+// task stays leased — the other execution may still succeed — and the
+// failure is only terminal once no lease remains.
 func (q *Queue) Fail(leaseID, digest, msg string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -915,11 +1302,14 @@ func (q *Queue) Fail(leaseID, digest, msg string) {
 		return
 	}
 	t, ok := q.tasks[digest]
-	if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != leaseID {
+	if !ok || t.state != taskLeased || !t.holds(leaseID) {
 		return
 	}
-	t.lease = nil
+	t.detach(leaseID)
 	t.attempts++
+	if t.lease != nil {
+		return // sibling still running; let it ride
+	}
 	if t.attempts >= t.maxAttempts {
 		t.state = taskFailed
 		t.err = fmt.Errorf("campaign: cell %s failed after %d attempts: %s", t.cell.Label, t.attempts, msg)
@@ -927,8 +1317,7 @@ func (q *Queue) Fail(leaseID, digest, msg string) {
 		q.deliverLocked(t, Outcome{Err: t.err})
 		return
 	}
-	t.state = taskPending
-	q.pending = append(q.pending, digest)
+	q.requeueLocked(t)
 }
 
 // ExpireLeases requeues every task whose lease deadline passed and
@@ -942,7 +1331,9 @@ func (q *Queue) ExpireLeases() int {
 
 // expireLocked requeues tasks with lapsed leases. An expiry does not
 // consume an attempt: the worker may be slow rather than broken; its
-// eventual publish is judged by the fencing and attestation rules.
+// eventual publish is judged by the fencing and attestation rules. An
+// expired primary with a live hedge promotes the hedge instead of
+// requeueing.
 func (q *Queue) expireLocked() int {
 	now := q.now()
 	expired := 0
@@ -953,12 +1344,13 @@ func (q *Queue) expireLocked() int {
 		q.dropLeaseLocked(id)
 		expired++
 		t, ok := q.tasks[l.digest]
-		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != id {
+		if !ok || t.state != taskLeased || !t.holds(id) {
 			continue
 		}
-		t.lease = nil
-		t.state = taskPending
-		q.pending = append(q.pending, l.digest)
+		t.detach(id)
+		if t.lease == nil {
+			q.requeueLocked(t)
+		}
 	}
 	q.stats.Expired += expired
 	return expired
@@ -1014,7 +1406,8 @@ func (q *Queue) quarantineLocked(worker string, rec *workerRec, reason string) {
 	}
 }
 
-// drainWorkerLocked requeues every task the worker currently leases.
+// drainWorkerLocked requeues every task the worker currently leases
+// (promoting a sibling lease where one survives).
 func (q *Queue) drainWorkerLocked(worker string) {
 	for id, l := range q.leases {
 		if l.worker != worker {
@@ -1022,12 +1415,13 @@ func (q *Queue) drainWorkerLocked(worker string) {
 		}
 		q.dropLeaseLocked(id)
 		t, ok := q.tasks[l.digest]
-		if !ok || t.state != taskLeased || t.lease == nil || t.lease.id != id {
+		if !ok || t.state != taskLeased || !t.holds(id) {
 			continue
 		}
-		t.lease = nil
-		t.state = taskPending
-		q.pending = append(q.pending, l.digest)
+		t.detach(id)
+		if t.lease == nil {
+			q.requeueLocked(t)
+		}
 	}
 }
 
@@ -1078,6 +1472,25 @@ func (t *task) latestVote(worker string) string {
 
 // votedBy reports whether the worker already voted on the task.
 func (t *task) votedBy(worker string) bool { return t.latestVote(worker) != "" }
+
+// holds reports whether leaseID is one of the task's live leases.
+func (t *task) holds(leaseID string) bool {
+	return (t.lease != nil && t.lease.id == leaseID) || (t.hedge != nil && t.hedge.id == leaseID)
+}
+
+// detach removes leaseID from the task's lease slots. Detaching the
+// primary promotes a live hedge into its place, so t.lease == nil after
+// a detach means no execution remains in flight.
+func (t *task) detach(leaseID string) {
+	if t.hedge != nil && t.hedge.id == leaseID {
+		t.hedge = nil
+		return
+	}
+	if t.lease != nil && t.lease.id == leaseID {
+		t.lease = t.hedge
+		t.hedge = nil
+	}
+}
 
 // short truncates a digest for log lines.
 func short(digest string) string {

@@ -47,6 +47,17 @@ type Spec struct {
 	// CellTimeout bounds each cell's simulation wall time on the worker
 	// (0 = unbounded). It travels with every lease grant.
 	CellTimeout time.Duration `json:"cell_timeout,omitempty"`
+	// Priority ranks the campaign for weighted-fair lease granting:
+	// "low", "normal" (the default), or "high". A backlogged high
+	// campaign receives 16 grants for every low campaign's 1, so a huge
+	// batch sweep cannot starve small interactive submissions.
+	Priority Priority `json:"priority,omitempty"`
+	// Deadline, when positive, bounds the campaign's total wall time
+	// from submission: past it the campaign fails with the tables
+	// finished so far, in-flight cells are abandoned, and workers'
+	// simulation contexts cancel. It is journaled with the submit
+	// record, so a recovered campaign keeps its original budget.
+	Deadline time.Duration `json:"deadline,omitempty"`
 	// Store is the shared content-addressed store directory. It
 	// configures local serving (secmgpu.Serve, secbench -serve) and
 	// workers; a coordinator ignores the field on submitted campaigns
@@ -74,7 +85,30 @@ func (s Spec) withDefaults() Spec {
 	if s.Retries < 0 {
 		s.Retries = 0
 	}
+	if s.Priority == "" {
+		s.Priority = PriorityNormal
+	}
 	return s
+}
+
+// Priority ranks a campaign for weighted-fair scheduling.
+type Priority string
+
+const (
+	PriorityLow    Priority = "low"
+	PriorityNormal Priority = "normal"
+	PriorityHigh   Priority = "high"
+)
+
+// weight maps the priority onto its stride-scheduler weight.
+func (p Priority) weight() int {
+	switch p {
+	case PriorityLow:
+		return weightLow
+	case PriorityHigh:
+		return weightHigh
+	}
+	return weightNormal
 }
 
 // Validate rejects a spec naming unknown experiments or workloads (the
@@ -99,6 +133,14 @@ func (s Spec) Validate() error {
 	}
 	if s.CellTimeout < 0 {
 		return fmt.Errorf("campaign: negative cell timeout %v", s.CellTimeout)
+	}
+	switch s.Priority {
+	case "", PriorityLow, PriorityNormal, PriorityHigh:
+	default:
+		return fmt.Errorf("campaign: unknown priority %q (want low, normal, or high)", s.Priority)
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("campaign: negative deadline %v", s.Deadline)
 	}
 	return nil
 }

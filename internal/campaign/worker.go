@@ -285,11 +285,19 @@ func (w *Worker) runCell(ctx context.Context, g Grant) {
 
 // execute runs the cell through the worker's sweep engine: panic guard,
 // per-grant cell timeout, store persistence and rehydration all come
-// with it. A verification grant instead runs on a fresh, storeless
-// engine: the whole point of the quorum is an independent re-execution,
-// so serving the vote from the shared store (or this worker's cache)
-// would just echo the first answer back.
+// with it. A grant carrying a campaign deadline caps the simulation
+// context at that absolute instant, so a deadline-expired campaign
+// cancels its in-flight simulations instead of wasting worker time on
+// results nobody will wait for. A verification grant instead runs on a
+// fresh, storeless engine: the whole point of the quorum is an
+// independent re-execution, so serving the vote from the shared store
+// (or this worker's cache) would just echo the first answer back.
 func (w *Worker) execute(ctx context.Context, g Grant) (*machine.Result, error) {
+	if !g.Deadline.IsZero() {
+		dctx, cancel := context.WithDeadline(ctx, g.Deadline)
+		defer cancel()
+		ctx = dctx
+	}
 	eng := w.engine
 	if g.Verify {
 		eng = sweep.New(1)

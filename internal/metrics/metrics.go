@@ -77,6 +77,20 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.total += o.total
 }
 
+// Clone returns an independent copy of the histogram — a consistent
+// snapshot callers can serialize or merge without racing later Observes
+// on the original.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		bounds: make([]uint64, len(h.bounds)),
+		counts: make([]uint64, len(h.counts)),
+		total:  h.total,
+	}
+	copy(c.bounds, h.bounds)
+	copy(c.counts, h.counts)
+	return c
+}
+
 // Total returns the number of samples observed.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -280,6 +280,23 @@ type ServeOptions struct {
 	// re-verify every stored object at rest, quarantine corruption,
 	// and resubmit the damaged cells for re-simulation.
 	ScrubInterval time.Duration
+	// MaxCampaigns, when positive, is an admission limit: new
+	// submissions are rejected (429 + Retry-After) while this many
+	// campaigns are running.
+	MaxCampaigns int
+	// MaxQueueDepth, when positive, rejects new submissions while this
+	// many cells are pending on the work queue.
+	MaxQueueDepth int
+	// BrownoutMB, when positive, is a heap watermark in MiB: above it
+	// the coordinator browns out, pausing verification-quorum sampling
+	// and scrub passes until the heap recedes.
+	BrownoutMB int
+	// Drain, when non-nil, triggers a graceful drain on close: new
+	// submissions and lease grants stop, in-flight leases finish or
+	// expire, a clean-shutdown record is journaled, and Serve returns.
+	Drain <-chan struct{}
+	// DrainTimeout bounds the drain wait (default 2×LeaseTTL + 5s).
+	DrainTimeout time.Duration
 	// Logf receives operational log lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -308,6 +325,11 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) error {
 		VerifyFraction: opts.VerifyFraction,
 		VerifyQuorum:   opts.VerifyQuorum,
 		ScrubInterval:  opts.ScrubInterval,
+		MaxCampaigns:   opts.MaxCampaigns,
+		MaxQueueDepth:  opts.MaxQueueDepth,
+		BrownoutMB:     opts.BrownoutMB,
+		Drain:          opts.Drain,
+		DrainTimeout:   opts.DrainTimeout,
 		Logf:           opts.Logf,
 	})
 }
@@ -328,6 +350,7 @@ func CoordinatorHandler(opts ServeOptions) (http.Handler, func(), error) {
 		Store: st, LeaseTTL: opts.LeaseTTL, AuthToken: opts.AuthToken, Logf: opts.Logf,
 		VerifyFraction: opts.VerifyFraction, VerifyQuorum: opts.VerifyQuorum,
 		ScrubInterval: opts.ScrubInterval,
+		MaxCampaigns:  opts.MaxCampaigns, MaxQueueDepth: opts.MaxQueueDepth, BrownoutMB: opts.BrownoutMB,
 	})
 	return c.Handler(), c.Close, nil
 }
